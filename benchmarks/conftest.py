@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+One :class:`BenchContext` (synthetic DBLife snapshot + lattices + prepared
+queries) is shared across all benchmark files; its caches make each bench
+measure exactly the phase it targets.  Set ``REPRO_BENCH_SCALE`` to grow the
+dataset.
+
+Every bench writes the paper-style table it regenerates to
+``benchmarks/results/<name>.txt`` (and prints it when run with ``-s``), so a
+benchmark run leaves the full set of reproduced tables/figures behind.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.context import BenchContext
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context() -> BenchContext:
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+    return BenchContext.create(scale=scale, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, table) -> None:
+        text = table.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,93 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.bench.experiments import (
+    ablation_free_copies,
+    ablation_free_count,
+    ablation_match,
+    ablation_pa,
+    scaling,
+)
+
+
+def test_ablation_pa_sweep(benchmark, context, save_table):
+    """SBH sensitivity to the alive-probability prior (§2.5.3)."""
+
+    def run():
+        return ablation_pa(context, level=5, values=(0.1, 0.3, 0.5, 0.7, 0.9))
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_pa", table)
+    # The paper found the flat prior works well: p_a = 0.5 should be within
+    # 2x of the best setting on workload totals.
+    totals = {
+        header: sum(table.column(header)) for header in table.headers[1:]
+    }
+    best = min(totals.values())
+    assert totals["p_a=0.5"] <= max(2 * best, best + 20)
+
+
+def test_ablation_match_modes(benchmark, context, save_table):
+    """Token vs substring (LIKE) matching semantics."""
+
+    def run():
+        return ablation_match(context, level=3)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_match", table)
+    # Substring matching can only widen tuple sets, so it can only add
+    # interpretations and MTNs.
+    for row in table.rows:
+        _, mtns_token, mtns_substring, _, _ = row
+        assert mtns_substring >= mtns_token
+
+
+def test_ablation_free_copies(benchmark, context, save_table):
+    """What the R0 free tuple sets contribute (§2.3)."""
+
+    def run():
+        return ablation_free_copies(context, level=3)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_free_copies", table)
+    with_free = sum(table.column("MTNs with R0"))
+    without_free = sum(table.column("MTNs without R0"))
+    # DBLife keywords live in entity tables that are never directly joined,
+    # so without free copies of the relationship tables (the connectors)
+    # almost everything disappears.
+    assert without_free < with_free
+
+
+def test_ablation_free_count(benchmark, context, save_table):
+    """Multi-free-copy extension: what a second free copy per relation buys."""
+
+    def run():
+        return ablation_free_count(context, level=5, counts=(1, 2))
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_free_count", table)
+    # More free copies can only add candidate networks and answers.
+    for row in table.rows:
+        _, mtns1, alive1, mtns2, alive2 = row
+        assert mtns2 >= mtns1
+        assert alive2 >= alive1
+    # Q3 (three person names) gains answers at level 5 only via the second
+    # free copy (person-Coauthor-person-Coauthor-person needs two Coauthors).
+    by_qid = {row[0]: row for row in table.rows}
+    assert by_qid["Q3"][2] == 0  # no answers with the paper's single R0
+    assert by_qid["Q3"][4] > 0
+
+
+def test_scaling_sweep(benchmark, save_table):
+    """Dataset scale sweep: SQL counts flat, data volume grows."""
+
+    def run():
+        return scaling(scales=(1, 2, 4), level=3)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("scaling", table)
+    tuples = table.column("tuples")
+    assert tuples == sorted(tuples) and tuples[0] < tuples[-1]
+    counts = table.column("total SQL (sbh)")
+    # Query counts depend on the schema and keyword placement, not on
+    # cardinality; allow mild drift as random links shift aliveness.
+    assert max(counts) <= 3 * max(min(counts), 1)

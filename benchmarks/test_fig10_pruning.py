@@ -1,0 +1,32 @@
+"""§3.3 + Figure 10: keyword mapping, lattice pruning, and MTN discovery."""
+
+from repro.bench.experiments import fig10
+
+
+def test_fig10_pruning_and_mtns(benchmark, context, save_table):
+    def run():
+        return fig10(context, level=5)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("fig10", table)
+
+    # Keyword mapping is a fast index lookup (paper: 7-66 ms on Lucene).
+    assert all(ms < 1000 for ms in table.column("map ms"))
+    # Keyword pruning removes the overwhelming majority of lattice nodes
+    # (paper: ~98% on average at level 5).
+    pruned = table.column("pruned %")
+    assert sum(pruned) / len(pruned) > 90
+    # Unique descendants never exceed total descendants (overlap exists).
+    for total, unique in zip(table.column("desc total"), table.column("desc unique")):
+        assert unique <= total
+
+
+def test_keyword_mapping_latency(benchmark, context):
+    """Micro: one keyword-to-schema mapping round (paper: 7-66 ms)."""
+    debugger = context.debugger(3)
+
+    def run():
+        return debugger.map_keywords("probabilistic data washington")
+
+    mapping = benchmark(run)
+    assert mapping.complete

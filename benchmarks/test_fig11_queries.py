@@ -1,0 +1,22 @@
+"""Figure 11: number of SQL queries executed per traversal strategy."""
+
+from repro.bench.experiments import fig11
+
+
+def test_fig11_sql_counts(benchmark, context, save_table):
+    def run():
+        return fig11(context, level=5)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("fig11", table)
+
+    bu = table.column("BU")
+    buwr = table.column("BUWR")
+    td = table.column("TD")
+    tdwr = table.column("TDWR")
+    sbh = table.column("SBH")
+    # Reuse variants never execute more queries than their counterparts.
+    assert all(with_reuse <= without for with_reuse, without in zip(buwr, bu))
+    assert all(with_reuse <= without for with_reuse, without in zip(tdwr, td))
+    # SBH is competitive with the best of the four on workload totals.
+    assert sum(sbh) <= min(sum(bu), sum(td))

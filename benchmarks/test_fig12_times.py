@@ -1,0 +1,20 @@
+"""Figure 12: time taken to execute the SQL queries per strategy."""
+
+from repro.bench.experiments import fig12
+
+
+def test_fig12_execution_times(benchmark, context, save_table):
+    def run():
+        return fig12(context, level=5)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("fig12", table)
+
+    # Fewer executed queries must show up as less simulated time overall:
+    # the reuse strategies beat the no-reuse sweeps on workload totals.
+    bu = sum(table.column("BU"))
+    buwr = sum(table.column("BUWR"))
+    td = sum(table.column("TD"))
+    tdwr = sum(table.column("TDWR"))
+    assert buwr <= bu
+    assert tdwr <= td

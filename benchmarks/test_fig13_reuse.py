@@ -1,0 +1,22 @@
+"""Figure 13: percentage of reuse between the descendants of the MTNs."""
+
+from repro.bench.experiments import fig13
+
+
+def test_fig13_reuse_percentage(benchmark, context, save_table):
+    def run():
+        return fig13(context, levels=(3, 5, 7))
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("fig13", table)
+
+    for row in table.rows:
+        _, l3, l5, l7 = row
+        assert 0.0 <= l3 <= 100.0 and 0.0 <= l5 <= 100.0 and 0.0 <= l7 <= 100.0
+        # Reuse increases as more joins are allowed (paper's observation);
+        # rows with no MTNs at a level report 0 there.
+        if l5 > 0:
+            assert l7 >= l5 - 1e-9
+    # Substantial overlap at level 7 across the workload.
+    level7 = [row[3] for row in table.rows if row[3] > 0]
+    assert level7 and max(level7) > 50.0

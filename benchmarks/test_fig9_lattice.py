@@ -1,0 +1,40 @@
+"""Figure 9: offline lattice generation -- node counts and time per level."""
+
+from repro.bench.experiments import fig9
+from repro.core.lattice import generate_lattice
+
+
+def test_fig9a_node_counts(benchmark, context, save_table):
+    """Figure 9(a): nodes and eliminated duplicates per level."""
+
+    def run():
+        return fig9(context, max_level=5)
+
+    nodes, _times = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("fig9a", nodes)
+    counts = nodes.column("nodes")
+    # Exponential growth, as in the paper (log-scale Y axis).
+    assert counts[-1] > 10 * counts[0]
+    assert all(duplicates >= 0 for duplicates in nodes.column("duplicates eliminated"))
+
+
+def test_fig9b_generation_time(benchmark, context, save_table):
+    """Figure 9(b): per-level generation time (a one-time offline cost)."""
+
+    def run():
+        return fig9(context, max_level=5)
+
+    _nodes, times = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("fig9b", times)
+    assert sum(times.column("seconds")) < 300  # paper: <100s in Java at L7
+
+
+def test_fig9_small_lattice_throughput(benchmark, context):
+    """Micro: regenerating the level-3 lattice from scratch (no caches)."""
+    schema = context.database.schema
+
+    def run():
+        return generate_lattice(schema, 2, max_keywords=3)
+
+    lattice = benchmark(run)
+    assert len(lattice) > 100

@@ -1,0 +1,65 @@
+"""Micro-benchmarks for the hot operations under every experiment."""
+
+import pytest
+
+from repro.core.canonical import canonical_code
+from repro.core.mtn import build_exploration_graph
+from repro.index.inverted import InvertedIndex
+from repro.relational.sqlite_backend import SqliteEngine
+
+
+@pytest.fixture(scope="module")
+def prepared_q8(context):
+    return context.prepare(5, context.workload[7])  # Q8
+
+
+def test_aliveness_probe_memory(benchmark, context, prepared_q8):
+    """One semi-join emptiness check on the in-memory engine."""
+    debugger = context.debugger(5)
+    mtn = prepared_q8.graph.mtns()[0]
+
+    result = benchmark(lambda: debugger.backend.is_alive(mtn.query))
+    assert result in (True, False)
+
+
+def test_aliveness_probe_sqlite(benchmark, context, prepared_q8):
+    """The same probe as real SQL on sqlite3 (LIMIT 1 existence check)."""
+    engine = SqliteEngine(context.database)
+    mtn = prepared_q8.graph.mtns()[0]
+
+    result = benchmark(lambda: engine.is_alive(mtn.query))
+    assert result in (True, False)
+    engine.close()
+
+
+def test_canonical_labeling(benchmark, context, prepared_q8):
+    """Canonical labeling of a level-5 join tree (Algorithm 2)."""
+    schema = context.database.schema
+    tree = prepared_q8.graph.mtns()[0].tree
+
+    code = benchmark(lambda: canonical_code(tree, schema))
+    assert code
+
+
+def test_exploration_graph_build(benchmark, context, prepared_q8):
+    """Phase 2: building the exploration graph from pruned lattices."""
+    pruned = prepared_q8.pruned
+
+    graph = benchmark(lambda: build_exploration_graph(pruned))
+    assert len(graph) == len(prepared_q8.graph)
+
+
+def test_inverted_index_build(benchmark, context):
+    """Offline index construction over the whole snapshot."""
+    database = context.database
+
+    index = benchmark(lambda: InvertedIndex(database))
+    assert index.vocabulary_size > 0
+
+
+def test_keyword_lookup(benchmark, context):
+    """A single postings lookup (what §3.3 measures per keyword)."""
+    index = context.debugger(3).index
+
+    relations = benchmark(lambda: index.relations_containing("washington"))
+    assert relations

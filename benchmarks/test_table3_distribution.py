@@ -1,0 +1,26 @@
+"""Table 3: distribution of MTNs and MPANs at levels 3, 5, and 7."""
+
+from repro.bench.experiments import table3
+
+
+def test_table3_mtn_mpan_distribution(benchmark, context, save_table):
+    def run():
+        return table3(context, levels=(3, 5, 7))
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("table3", table)
+
+    # MTN counts are cumulative, so they grow with the level; the paper's
+    # headline observation is that most MTNs/MPANs live at higher levels.
+    for row in table.rows:
+        _, l3, l5, l7 = row[0], row[1], row[2], row[3]
+        assert l3 <= l5 <= l7
+    # Three-keyword queries have no level-3 MTNs (as in the paper's Table 3:
+    # Q2, Q3, Q8, Q10 all show 0).
+    by_qid = {row[0]: row for row in table.rows}
+    for qid in ("Q2", "Q3", "Q8", "Q10"):
+        assert by_qid[qid][1] == 0
+    # Substantially more MTNs at level 7 than level 5 on workload totals.
+    total_l5 = sum(row[2] for row in table.rows)
+    total_l7 = sum(row[3] for row in table.rows)
+    assert total_l7 > 2 * total_l5

@@ -1,0 +1,25 @@
+"""Table 4: SQL queries executed for Q3 as the lattice level grows."""
+
+from repro.bench.experiments import table4
+
+
+def test_table4_q3_by_level(benchmark, context, save_table):
+    def run():
+        return table4(context, qid="Q3", levels=(3, 5, 7))
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("table4", table)
+
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Level 3: Q3 has no MTNs, so every strategy executes 0 queries (paper).
+    assert rows[3] == [0, 0, 0, 0, 0]
+    # Counts grow with the level for every strategy.
+    for column in range(5):
+        assert rows[3][column] <= rows[5][column] <= rows[7][column]
+    # Paper's level-7 ordering: reuse beats no-reuse, and SBH avoids the
+    # worst case of both sweeps (it may tie with the better reuse sweep).
+    bu, td, buwr, tdwr, sbh = rows[7]
+    assert buwr < bu
+    assert tdwr < td
+    assert sbh < min(bu, td)
+    assert sbh <= 1.5 * min(buwr, tdwr)

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""The e-commerce debugging loop the paper's introduction motivates.
+
+Run with::
+
+    python examples/ecommerce_catalog.py
+
+An SEO engineer at a web shop sees "saffron scented candle" return nothing
+useful.  The workflow below is exactly what §1 of the paper describes:
+
+1. run the non-answer debugger to find *why* each interpretation fails;
+2. read the MPANs: for the color interpretation every keyword exists and
+   only the join is empty -- so the fix is vocabulary, not inventory;
+3. apply the fix (add "saffron" as a synonym of yellow, as the paper
+   suggests) and re-run: the former non-answer now returns products.
+
+The example builds its own catalog -- a slightly larger cousin of the
+Figure-2 database -- through the public schema/database API, showing how to
+wire the system to any structured store.
+"""
+
+from repro import (
+    Attribute,
+    AttributeType,
+    Database,
+    ForeignKey,
+    NonAnswerDebugger,
+    Relation,
+    SchemaGraph,
+)
+
+INT = AttributeType.INTEGER
+TEXT = AttributeType.TEXT
+REAL = AttributeType.REAL
+
+
+def build_catalog() -> Database:
+    """A small storefront: items, categories, colors, and attributes."""
+    schema = SchemaGraph.build(
+        relations=[
+            Relation("Category", (Attribute("id", INT), Attribute("name", TEXT))),
+            Relation(
+                "Color",
+                (
+                    Attribute("id", INT),
+                    Attribute("name", TEXT),
+                    Attribute("synonyms", TEXT),
+                ),
+            ),
+            Relation(
+                "Feature",
+                (
+                    Attribute("id", INT),
+                    Attribute("property", TEXT),
+                    Attribute("value", TEXT),
+                ),
+            ),
+            Relation(
+                "Product",
+                (
+                    Attribute("id", INT),
+                    Attribute("name", TEXT),
+                    Attribute("category", INT),
+                    Attribute("color", INT),
+                    Attribute("feature", INT),
+                    Attribute("price", REAL),
+                ),
+            ),
+        ],
+        foreign_keys=[
+            ForeignKey("product_category", "Product", "category", "Category", "id"),
+            ForeignKey("product_color", "Product", "color", "Color", "id"),
+            ForeignKey("product_feature", "Product", "feature", "Feature", "id"),
+        ],
+    )
+    database = Database(schema)
+    database.load(
+        {
+            "Category": [(1, "candle"), (2, "oil"), (3, "diffuser"), (4, "soap")],
+            "Color": [
+                (1, "red", "crimson scarlet"),
+                (2, "yellow", "golden amber"),
+                (3, "white", "ivory cream"),
+                # The saffron color exists in the vocabulary, but no product
+                # is linked to it -- the Figure-2 situation.
+                (4, "saffron", "deep gold"),
+            ],
+            "Feature": [
+                (1, "scent", "saffron blossom"),
+                (2, "scent", "vanilla bean"),
+                (3, "scent", "sandalwood"),
+                (4, "wax", "soy"),
+            ],
+            "Product": [
+                (1, "saffron blossom oil", 2, None, 1, 12.50),
+                (2, "vanilla pillar candle scented", 1, 2, 2, 8.00),
+                (3, "sandalwood scented candle", 1, 3, 3, 9.00),
+                (4, "amber glow candle scented", 1, 2, 2, 7.50),
+                (5, "saffron soap bar", 4, 2, 1, 4.00),
+            ],
+        }
+    )
+    database.validate()
+    return database
+
+
+def show(report, heading: str) -> None:
+    print(heading)
+    print("-" * len(heading))
+    print(report.render(max_items=12))
+    print()
+
+
+def main() -> None:
+    database = build_catalog()
+    query = "saffron scented candle"
+
+    debugger = NonAnswerDebugger(database, max_joins=2, strategy="tdwr")
+    before = debugger.debug(query)
+    show(before, f'Before the fix: "{query}"')
+
+    # The color-interpretation MPANs say: scented candles exist, the saffron
+    # keyword exists (as a Feature and in Product names), but nothing links
+    # them through Color.  The paper's suggested fix: make "saffron" a
+    # synonym of yellow.
+    color_non_answers = [
+        q
+        for q, _ in before.explanations()
+        if any(i.relation == "Color" for i, _ in q.bindings)
+    ]
+    print(
+        f"{len(color_non_answers)} non-answer(s) blame the Color table; "
+        "applying the vocabulary fix: saffron -> synonym of yellow\n"
+    )
+    yellow = database.table("Color").row(1)
+    assert yellow[1] == "yellow"
+    # Rebuild the row with the extended synonym list (tables are
+    # append-mostly; a real deployment would UPDATE the row).
+    rebuilt = Database(database.schema)
+    for table in database.iter_tables():
+        for row in table:
+            if table.relation.name == "Color" and row[0] == yellow[0]:
+                row = (row[0], row[1], row[2] + " saffron")
+            rebuilt.insert(table.relation.name, row)
+
+    fixed = NonAnswerDebugger(rebuilt, max_joins=2, strategy="tdwr")
+    after = fixed.debug(query)
+    show(after, f'After the fix: "{query}"')
+
+    gained = len(after.answers()) - len(before.answers())
+    print(f"The fix turned {gained} non-answer(s) into answer queries.")
+    sellable = set()
+    for answer in after.answers():
+        if any(i.relation == "Color" for i, _ in answer.bindings):
+            for witness in fixed.witnesses(answer, limit=3):
+                for key, values in witness.items():
+                    if key.startswith("Product") and "name" in values:
+                        sellable.add(values["name"])
+    for name in sorted(sellable):
+        print(f"  now sellable: {name!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Interactive, constraint-driven debugging (the paper's §5 future work).
+
+Run with::
+
+    python examples/interactive_session.py
+
+A developer rarely wants every explanation at once.  This example walks the
+incremental workflow the library supports on top of the paper's machinery:
+
+1. open a session: phases 1-2 run, **zero SQL** is spent;
+2. look at the candidate networks, classify a couple on demand;
+3. ask for the explanation of one non-answer -- only its search space is
+   resolved, and everything learned is shared with later questions;
+4. push a constraint ("I already checked the Color table") and compare the
+   SQL bill;
+5. finish with the automatic root-cause diagnosis and ranked explanations.
+"""
+
+from repro import NonAnswerDebugger, SearchConstraints, product_database
+from repro.core.diagnosis import render_diagnoses
+from repro.core.ranking import ExplanationRanker, only_bound
+from repro.core.session import DebugSession
+
+QUERY = "saffron scented candle"
+
+
+def main() -> None:
+    database = product_database()
+    debugger = NonAnswerDebugger(database, max_joins=2)
+
+    print(f'Opening a debug session for "{QUERY}"...')
+    session = DebugSession(debugger, QUERY)
+    print(f"  {session.progress()}")
+    print("  candidate networks on the table:")
+    for view in session.overview():
+        print(f"    {view}")
+    print()
+
+    print("Classifying candidates one by one (1 SQL each, or 0 if inferred):")
+    for view in session.overview():
+        status = session.classify(view.position)
+        print(f"  [{view.position}] -> {status.value}")
+    print(f"  {session.progress()}\n")
+
+    dead = [
+        view.position
+        for view in session.overview()
+        if view.status.value == "dead"
+    ]
+    first = dead[0]
+    print(f"Explaining just candidate #{first}:")
+    for mpan in session.explain(first):
+        print(f"  works up to: {mpan.describe()}")
+    print(f"  {session.progress()}")
+    second = dead[1]
+    print(f"Explaining #{second} reuses the shared knowledge:")
+    before = session.evaluator.stats.queries_executed
+    for mpan in session.explain(second):
+        print(f"  works up to: {mpan.describe()}")
+    print(
+        f"  (cost of the second explanation: "
+        f"{session.evaluator.stats.queries_executed - before} extra queries)\n"
+    )
+
+    print("Same query with a pushed-down constraint (skip Color entirely):")
+    constrained = DebugSession(
+        debugger,
+        QUERY,
+        SearchConstraints(exclude_relations=frozenset({"Color"})),
+    )
+    constrained.explain_all()
+    print(f"  constrained: {constrained.progress()}")
+    print(f"  unconstrained was: {session.progress()}\n")
+
+    print("Batch view with diagnosis and ranked explanations:")
+    report = debugger.debug(QUERY)
+    print(render_diagnoses(report))
+    print()
+    print(ExplanationRanker(filters=(only_bound,), top_k=2).render(report))
+
+
+if __name__ == "__main__":
+    main()

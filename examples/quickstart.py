@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: Example 1 of the paper on the Figure-2 product database.
+
+Run with::
+
+    python examples/quickstart.py
+
+A shopper searches a product catalog for "saffron scented candle".  The
+classic keyword-search system finds some answers but silently drops the two
+interesting interpretations (saffron as a color, saffron as a scent) because
+their SQL queries return no rows.  The non-answer debugger exposes those
+dead queries together with their *maximal alive sub-queries* (MPANs), which
+tell the developer exactly where each query stops producing results.
+"""
+
+from repro import NonAnswerDebugger, product_database
+from repro.kws.discover import ClassicKWSSystem
+
+
+def main() -> None:
+    database = product_database()
+    print("The Figure-2 product database:")
+    print(database.summary())
+    print()
+
+    query = "saffron scented candle"
+
+    # --- What a classic KWS-S system shows the user -----------------------
+    classic = ClassicKWSSystem(database, max_joins=2)
+    answer = classic.search(query)
+    print(f'Classic keyword search for "{query}":')
+    for bound in answer.answers:
+        print(f"  + {bound.describe()}")
+    print(
+        f"  ({answer.candidate_networks} candidate networks generated, "
+        f"only {len(answer.answers)} returned -- the rest vanished)\n"
+    )
+
+    # --- What the non-answer debugger shows the developer -----------------
+    debugger = NonAnswerDebugger(database, max_joins=2, strategy="sbh")
+    report = debugger.debug(query)
+    print(report.render(max_items=20))
+    print()
+
+    # --- Why the MPANs matter ---------------------------------------------
+    print("Reading the explanations:")
+    for non_answer, mpans in report.explanations():
+        relations = sorted({i.relation for i, _ in non_answer.bindings})
+        if relations == ["Color", "Item", "ProductType"]:
+            print(f"  q1 = {non_answer.describe()}")
+            print(
+                "     Every keyword occurs in the data, but no item has the"
+                " saffron *color*.  The MPANs below say scented candles and"
+                " the saffron color row both exist -- only the join is empty,"
+                " so adding 'saffron' as a synonym of an existing color"
+                " would immediately produce answers (see"
+                " examples/ecommerce_catalog.py)."
+            )
+        elif relations == ["Attribute", "Item", "ProductType"]:
+            print(f"  q2 = {non_answer.describe()}")
+            print(
+                "     The store carries scented candles and saffron-scented"
+                " products, just no saffron-scented *candles* -- useful"
+                " merchandising information."
+            )
+        else:
+            continue
+        for mpan in mpans:
+            witnesses = debugger.witnesses(mpan, limit=1)
+            sample = ""
+            if witnesses:
+                first = next(iter(witnesses[0].values()))
+                name = first.get("name") or first.get("value")
+                if name:
+                    sample = f"   e.g. {name!r}"
+            print(f"       alive sub-query: {mpan.describe()}{sample}")
+    print()
+    print(
+        f"SQL effort for the whole diagnosis: {report.traversal.stats}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Comparing the five traversal strategies and the two baselines.
+
+Run with::
+
+    python examples/traversal_comparison.py ["keyword query"]
+
+For one keyword query over the synthetic DBLife snapshot, this runs
+
+* the five lattice traversals (BU, TD, BUWR, TDWR, SBH) -- identical
+  answers/MPANs, very different SQL bills;
+* the Return-Nothing baseline (re-submit every keyword subset);
+* the Return-Everything baseline (evaluate every sub-query of every
+  non-answer, no lattice inference);
+
+and prints the §3.4/§3.8-style cost table, demonstrating on live data why
+the lattice + score-based heuristic is the configuration the paper lands on.
+"""
+
+import sys
+
+from repro import (
+    DBLifeConfig,
+    NonAnswerDebugger,
+    ReturnEverything,
+    ReturnNothing,
+    dblife_database,
+)
+from repro.bench.cost_model import SimpleCostModel
+from repro.core.traversal import STRATEGY_NAMES, get_strategy
+
+
+def main() -> None:
+    text = sys.argv[1] if len(sys.argv) > 1 else "Agrawal Chaudhuri Das"
+    database = dblife_database(DBLifeConfig(seed=42, scale=1))
+    debugger = NonAnswerDebugger(
+        database, max_joins=4, use_lattice=False
+    )
+    debugger.cost_model = SimpleCostModel(database, debugger.index)
+
+    print(f'Keyword query: "{text}" (up to 4 joins)')
+    mapping = debugger.map_keywords(text)
+    if not mapping.complete:
+        print(f"keywords not in the data: {', '.join(mapping.missing_keywords)}")
+        return
+    graph = debugger.build_graph(debugger.prune(mapping))
+    print(
+        f"{len(mapping.interpretations)} interpretations, "
+        f"{len(graph.mtn_indexes)} candidate networks, "
+        f"{len(graph)} sub-queries to reason about, "
+        f"{graph.reuse_percentage():.1f}% descendant overlap\n"
+    )
+
+    rows = []
+    signature = None
+    for name in STRATEGY_NAMES:
+        strategy = get_strategy(name)
+        evaluator = debugger.make_evaluator(use_cache=strategy.uses_reuse)
+        result = strategy.run(graph, evaluator, database)
+        if signature is None:
+            signature = result.classification_signature()
+        assert result.classification_signature() == signature, (
+            "strategies must agree on answers and MPANs"
+        )
+        rows.append(
+            (
+                name.upper(),
+                result.stats.queries_executed,
+                result.stats.simulated_time,
+                f"{len(result.alive_mtns)} alive / {len(result.dead_mtns)} dead, "
+                f"{result.mpan_pair_count} MPANs",
+            )
+        )
+
+    rn = ReturnNothing(debugger).run(text)
+    rows.append(("RN", rn.stats.queries_executed, rn.stats.simulated_time,
+                 f"{len(rn.detail['submissions'])} re-submissions"))
+    re_ = ReturnEverything(debugger).run(text)
+    rows.append(("RE", re_.stats.queries_executed, re_.stats.simulated_time,
+                 "no inference, no reuse"))
+
+    print(f"{'approach':<8} {'#SQL':>8} {'sim. time':>12}   outcome")
+    print("-" * 70)
+    for name, count, sim, outcome in rows:
+        print(f"{name:<8} {count:>8} {sim:>10.2f} s   {outcome}")
+    print(
+        "\nAll five traversals return identical answers and explanations; "
+        "they only differ in how many SQL probes they spend getting there."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs PEP 660 support (setuptools >= 64 plus wheel);
+on fully offline machines ``python setup.py develop`` through this shim
+installs the same editable package.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

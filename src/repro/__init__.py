@@ -1,0 +1,80 @@
+"""repro: debugging non-answers in keyword search over structured data.
+
+A from-scratch reproduction of Baid, Wu, Sun, Doan & Naughton,
+"On Debugging Non-Answers in Keyword Search Systems" (EDBT 2015).
+
+Quick start::
+
+    from repro import NonAnswerDebugger, product_database
+
+    debugger = NonAnswerDebugger(product_database(), max_joins=2)
+    report = debugger.debug("saffron scented candle")
+    print(report.render())
+
+See README.md for the architecture overview and DESIGN.md for the full
+system inventory and per-experiment index.
+"""
+
+from repro.core.debugger import DebugReport, NonAnswerDebugger
+from repro.core.baselines import BaselineResult, ReturnEverything, ReturnNothing
+from repro.core.constraints import SearchConstraints
+from repro.core.diagnosis import Cause, Diagnosis, diagnose
+from repro.core.lattice import Lattice, LatticeStats, generate_lattice
+from repro.core.persistence import load_lattice, save_lattice, save_report
+from repro.core.ranking import ExplanationRanker
+from repro.core.session import DebugSession
+from repro.core.traversal import STRATEGY_NAMES, get_strategy
+from repro.datasets.dblife import DBLifeConfig, dblife_database, dblife_schema
+from repro.datasets.products import product_database, product_schema
+from repro.index.inverted import InvertedIndex
+from repro.kws.discover import ClassicKWSSystem
+from repro.relational.database import Database
+from repro.relational.predicates import MatchMode
+from repro.relational.schema import (
+    Attribute,
+    AttributeType,
+    ForeignKey,
+    Relation,
+    SchemaGraph,
+)
+from repro.workloads.queries import TABLE2_QUERIES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DebugReport",
+    "NonAnswerDebugger",
+    "BaselineResult",
+    "ReturnEverything",
+    "ReturnNothing",
+    "SearchConstraints",
+    "Cause",
+    "Diagnosis",
+    "diagnose",
+    "DebugSession",
+    "ExplanationRanker",
+    "Lattice",
+    "LatticeStats",
+    "generate_lattice",
+    "save_lattice",
+    "load_lattice",
+    "save_report",
+    "STRATEGY_NAMES",
+    "get_strategy",
+    "DBLifeConfig",
+    "dblife_database",
+    "dblife_schema",
+    "product_database",
+    "product_schema",
+    "InvertedIndex",
+    "ClassicKWSSystem",
+    "Database",
+    "MatchMode",
+    "Attribute",
+    "AttributeType",
+    "ForeignKey",
+    "Relation",
+    "SchemaGraph",
+    "TABLE2_QUERIES",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerates every table and figure of the paper's §3.
+
+Each experiment has a runner in :mod:`repro.bench.experiments` that returns a
+:class:`repro.bench.tables.TextTable` (paper-style rows) and is wrapped both
+by ``python -m repro bench <id>`` and by a pytest-benchmark test under
+``benchmarks/``.
+"""
+
+from repro.bench.context import BenchContext
+from repro.bench.cost_model import SimpleCostModel
+from repro.bench.tables import TextTable
+from repro.bench import experiments
+
+__all__ = ["BenchContext", "SimpleCostModel", "TextTable", "experiments"]

@@ -1,0 +1,66 @@
+"""Plain-text tables for the experiment runners (paper-style rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A titled grid of rows, rendered with aligned columns."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[str(h) for h in self.headers]] + [
+            [_format(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[column]) for row in cells)
+            for column in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(cells[0], widths))
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells[1:]:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

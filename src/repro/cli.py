@@ -1,0 +1,205 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands::
+
+    repro debug "saffron scented candle" --dataset products
+    repro search "widom trio" --dataset dblife       # classic KWS-S view
+    repro bench fig11 --scale 1 --level 5            # regenerate a figure
+    repro inspect --dataset dblife --scale 2         # dataset summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.context import BenchContext
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.core.debugger import NonAnswerDebugger
+from repro.datasets.dblife import DBLifeConfig, dblife_database
+from repro.datasets.products import product_database
+from repro.kws.discover import ClassicKWSSystem
+from repro.relational.predicates import MatchMode
+
+
+def _load_database(args: argparse.Namespace):
+    if args.dataset == "products":
+        return product_database()
+    return dblife_database(DBLifeConfig(seed=args.seed, scale=args.scale))
+
+
+def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=("products", "dblife"),
+        default="products",
+        help="which built-in dataset to query (default: products)",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="dblife scale factor")
+    parser.add_argument("--seed", type=int, default=42, help="dblife RNG seed")
+    parser.add_argument(
+        "--level", type=int, default=3, help="lattice levels (= max joins + 1)"
+    )
+    parser.add_argument(
+        "--match",
+        choices=("token", "substring"),
+        default="token",
+        help="keyword matching semantics",
+    )
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    database = _load_database(args)
+    debugger = NonAnswerDebugger(
+        database,
+        max_joins=args.level - 1,
+        mode=MatchMode(args.match),
+        strategy=args.strategy,
+        use_lattice=not args.direct,
+        free_copies=args.free_copies,
+    )
+    started = time.perf_counter()
+    report = debugger.debug(args.query)
+    elapsed = time.perf_counter() - started
+    print(report.render(max_items=args.max_items))
+    if args.diagnose and report.non_answers():
+        from repro.core.diagnosis import render_diagnoses
+
+        print()
+        print(render_diagnoses(report))
+    if args.rank and report.non_answers():
+        from repro.core.ranking import ExplanationRanker
+
+        print()
+        print(ExplanationRanker(top_k=args.max_items).render(report))
+    if args.save_report:
+        from repro.core.persistence import save_report
+
+        save_report(report, args.save_report)
+        print(f"(report saved to {args.save_report})")
+    print(f"(end-to-end {elapsed * 1000:.1f} ms)")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    database = _load_database(args)
+    system = ClassicKWSSystem(
+        database, max_joins=args.level - 1, mode=MatchMode(args.match)
+    )
+    answer = system.search(args.query)
+    print(f'Classic KWS-S for "{args.query}":')
+    if answer.is_non_answer:
+        print("  No results found!  (this is the problem the paper addresses)")
+    for query in answer.answers:
+        print(f"  + {query.describe()}")
+    print(
+        f"  ({answer.candidate_networks} candidate networks, "
+        f"{answer.queries_executed} SQL queries, {answer.elapsed * 1000:.1f} ms)"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    context = BenchContext.create(scale=args.scale, seed=args.seed)
+    kwargs = {}
+    if args.level:
+        if args.experiment in ("fig9a", "fig9b"):
+            kwargs["max_level"] = args.level
+        elif args.experiment in ("table3", "fig13"):
+            kwargs["levels"] = tuple(
+                level for level in (3, 5, 7) if level <= args.level
+            )
+        elif args.experiment != "scaling":
+            kwargs["level"] = args.level
+    started = time.perf_counter()
+    table = run_experiment(args.experiment, context, **kwargs)
+    print(table.render())
+    print(f"(ran in {time.perf_counter() - started:.1f} s)")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    database = _load_database(args)
+    print(database.summary())
+    from repro.index.inverted import InvertedIndex
+
+    index = InvertedIndex(database)
+    print(f"inverted index: {index.vocabulary_size} distinct tokens")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On Debugging Non-Answers in Keyword Search "
+            "Systems' (EDBT 2015)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    debug = commands.add_parser("debug", help="explain non-answers for a query")
+    debug.add_argument("query", help="keyword query, e.g. 'saffron scented candle'")
+    _add_dataset_options(debug)
+    debug.add_argument(
+        "--strategy",
+        choices=("bu", "td", "buwr", "tdwr", "sbh"),
+        default="sbh",
+        help="lattice traversal strategy",
+    )
+    debug.add_argument(
+        "--direct",
+        action="store_true",
+        help="skip Phase 0 and generate the pruned lattice per query",
+    )
+    debug.add_argument("--max-items", type=int, default=10)
+    debug.add_argument(
+        "--diagnose",
+        action="store_true",
+        help="append root-cause diagnosis (minimal dead sub-queries + fixes)",
+    )
+    debug.add_argument(
+        "--rank",
+        action="store_true",
+        help="append priority-ordered explanations",
+    )
+    debug.add_argument(
+        "--save-report", metavar="PATH", help="write the report as JSON"
+    )
+    debug.add_argument(
+        "--free-copies",
+        type=int,
+        default=1,
+        help="free copies per relation (>1 enables the multi-free extension)",
+    )
+    debug.set_defaults(func=_cmd_debug)
+
+    search = commands.add_parser("search", help="classic KWS-S (answers only)")
+    search.add_argument("query")
+    _add_dataset_options(search)
+    search.set_defaults(func=_cmd_search)
+
+    bench = commands.add_parser("bench", help="regenerate a paper table/figure")
+    bench.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS) + ["scaling"],
+    )
+    bench.add_argument("--scale", type=int, default=1)
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--level", type=int, default=0, help="override lattice level")
+    bench.set_defaults(func=_cmd_bench)
+
+    inspect = commands.add_parser("inspect", help="summarize a dataset")
+    _add_dataset_options(inspect)
+    inspect.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The two alternatives the paper compares against (§3.8).
+
+* **Return Nothing (RN)** -- the standard KWS-S behaviour: non-answers are
+  silently dropped, so a developer debugging a non-answer re-submits every
+  keyword subset and the system evaluates every candidate network of every
+  submission from scratch.
+
+* **Return Everything (RE)** -- no lattice: evaluate each candidate network,
+  and for every dead one issue one SQL query per descendant sub-query, with
+  no status inference and no reuse across candidate networks.
+
+Both report the same instrumentation as the lattice traversals so Figures 14
+and 15 can be regenerated; RE additionally yields ground-truth MPANs that the
+property tests compare against every traversal strategy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.core.debugger import NonAnswerDebugger
+from repro.core.mtn import ExplorationGraph
+from repro.core.status import StatusStore
+from repro.relational.evaluator import EvaluationStats, InstrumentedEvaluator
+
+
+@dataclass
+class BaselineResult:
+    """Instrumentation of one baseline run."""
+
+    name: str
+    query: str
+    stats: EvaluationStats = field(default_factory=EvaluationStats)
+    elapsed: float = 0.0
+    detail: dict = field(default_factory=dict)
+    mpans: dict[int, list[int]] = field(default_factory=dict)
+    alive_mtns: list[int] = field(default_factory=list)
+    dead_mtns: list[int] = field(default_factory=list)
+
+
+class ReturnNothing:
+    """RN: re-submit every keyword subset through the classic pipeline."""
+
+    name = "rn"
+
+    def __init__(self, debugger: NonAnswerDebugger):
+        self.debugger = debugger
+
+    def run(self, query: str) -> BaselineResult:
+        """Evaluate all MTNs of every nonempty keyword subset.
+
+        Each submission is an independent query to the KWS-S system: no
+        cache survives between submissions (a production system would not
+        share ad-hoc state across user queries either).
+        """
+        started = time.perf_counter()
+        result = BaselineResult(self.name, query)
+        keywords = self.debugger.mapper.parse(query)
+        total_stats = EvaluationStats()
+        submissions = []
+        for size in range(len(keywords), 0, -1):
+            for subset in itertools.combinations(keywords, size):
+                subquery = " ".join(subset)
+                evaluator = self.debugger.make_evaluator(use_cache=False)
+                mapping = self.debugger.map_keywords(subquery)
+                alive = dead = 0
+                if mapping.complete and mapping.keywords:
+                    pruned = self.debugger.prune(mapping)
+                    graph = self.debugger.build_graph(pruned)
+                    for node in graph.mtns():
+                        if evaluator.is_alive(node.query):
+                            alive += 1
+                        else:
+                            dead += 1
+                submissions.append(
+                    {
+                        "subset": subquery,
+                        "alive_mtns": alive,
+                        "dead_mtns": dead,
+                        "queries": evaluator.stats.queries_executed,
+                    }
+                )
+                total_stats.queries_executed += evaluator.stats.queries_executed
+                total_stats.wall_time += evaluator.stats.wall_time
+                total_stats.simulated_time += evaluator.stats.simulated_time
+        result.stats = total_stats
+        result.detail["submissions"] = submissions
+        result.elapsed = time.perf_counter() - started
+        return result
+
+
+class ReturnEverything:
+    """RE: evaluate every descendant of every dead candidate network."""
+
+    name = "re"
+
+    def __init__(self, debugger: NonAnswerDebugger):
+        self.debugger = debugger
+
+    def run(self, query: str) -> BaselineResult:
+        started = time.perf_counter()
+        result = BaselineResult(self.name, query)
+        evaluator = self.debugger.make_evaluator(use_cache=False)
+        mapping = self.debugger.map_keywords(query)
+        if mapping.complete and mapping.keywords:
+            pruned = self.debugger.prune(mapping)
+            graph = self.debugger.build_graph(pruned)
+            self._explore(graph, evaluator, result)
+        result.stats = evaluator.stats.snapshot()
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    def run_on_graph(
+        self, graph: ExplorationGraph, evaluator: InstrumentedEvaluator
+    ) -> BaselineResult:
+        """RE over a prebuilt exploration graph (used by tests/benches)."""
+        started = time.perf_counter()
+        result = BaselineResult(self.name, "<graph>")
+        self._explore(graph, evaluator, result)
+        result.stats = evaluator.stats.snapshot()
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    def _explore(
+        self,
+        graph: ExplorationGraph,
+        evaluator: InstrumentedEvaluator,
+        result: BaselineResult,
+    ) -> None:
+        for mtn_index in graph.mtn_indexes:
+            alive = evaluator.is_alive(graph.node(mtn_index).query)
+            if alive:
+                result.alive_mtns.append(mtn_index)
+                continue
+            result.dead_mtns.append(mtn_index)
+            # One SQL query per descendant; statuses are recorded through a
+            # per-MTN store (so MPAN extraction is uniform) but *without*
+            # saving any queries: every descendant is still executed.
+            store = StatusStore(graph, domain=graph.desc_plus(mtn_index))
+            store.record(mtn_index, alive=False)
+            for index in graph.bits(graph.desc_mask[mtn_index]):
+                descendant_alive = evaluator.is_alive(graph.node(index).query)
+                # Record without closure so the count reflects "no inference":
+                # the store is only used to collect statuses for extraction.
+                if descendant_alive:
+                    store.alive_mask |= 1 << index
+                else:
+                    store.dead_mask |= 1 << index
+            result.mpans[mtn_index] = store.mpans_of(mtn_index)

@@ -1,0 +1,328 @@
+"""Keyword-based lattice pruning (Phase 1, §2.3 of the paper).
+
+For one *interpretation* (a relation choice per keyword, from
+:class:`repro.index.mapper.KeywordMapper`):
+
+1. bind the ``i``-th keyword to copy (keyword slot) ``i`` of its relation --
+   the assignment is deterministic and shared sub-queries therefore coincide
+   across interpretations and across the MTNs of one interpretation;
+2. bind the empty keyword to ``R0`` of every relation (free tuple sets);
+3. prune the lattice: keep exactly the nodes whose every instance is a bound
+   or free copy.  Implemented as an upward walk from the retained base
+   nodes, mirroring the paper's "prune base nodes, then their ancestors".
+
+For lattice levels where materializing Phase 0 is not worthwhile, the same
+retained set can be generated *directly* from the binding's alphabet
+(:meth:`KeywordBinder.prune_direct`); a property test checks both paths
+produce identical retained trees.
+
+The result also knows how to *instantiate* any retained node into a
+:class:`~repro.relational.jointree.BoundQuery` (the run-time WHERE clause).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.freecopies import free_instance, free_instances, next_free_instance
+from repro.core.lattice import Lattice
+from repro.index.mapper import Interpretation
+from repro.relational.jointree import BoundQuery, JoinEdge, JoinTree, RelationInstance
+from repro.relational.predicates import MatchMode
+from repro.relational.schema import SchemaGraph
+
+
+class BindingError(ValueError):
+    """Raised when an interpretation cannot be bound to the lattice."""
+
+
+@dataclass(frozen=True)
+class KeywordBinding:
+    """The copy assignment of one interpretation: keyword -> instance."""
+
+    interpretation: Interpretation
+    by_keyword: tuple[tuple[str, RelationInstance], ...]
+
+    @property
+    def instances(self) -> frozenset[RelationInstance]:
+        """The keyword-bound copies (what totality is measured against)."""
+        return frozenset(instance for _, instance in self.by_keyword)
+
+    @property
+    def keyword_map(self) -> dict[RelationInstance, str]:
+        return {instance: keyword for keyword, instance in self.by_keyword}
+
+    def describe(self) -> str:
+        return ", ".join(f"{kw}->{inst}" for kw, inst in self.by_keyword)
+
+
+@dataclass
+class PrunedLattice:
+    """The retained sub-lattice for one interpretation.
+
+    ``retained`` maps join trees to lattice node ids when the walk ran over a
+    materialized lattice, or to ``-1`` when the retained set was generated
+    directly (both carry the same trees; nothing downstream needs the ids).
+    ``complete`` is False when the set was produced by the MTN-targeted fast
+    path (:meth:`KeywordBinder.prune_for_mtns`): it still contains every MTN
+    but not every retained tree, so only MTN extraction may rely on it.
+    """
+
+    schema: SchemaGraph
+    binding: KeywordBinding
+    retained: dict[JoinTree, int]
+    mode: MatchMode = MatchMode.TOKEN
+    pruning_time: float = 0.0
+    lattice_size: int | None = None
+    complete: bool = True
+    _bound_cache: dict[JoinTree, BoundQuery] = field(default_factory=dict, repr=False)
+
+    @property
+    def retained_count(self) -> int:
+        return len(self.retained)
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of the offline lattice removed by this keyword query."""
+        if not self.lattice_size:
+            return 0.0
+        return (self.lattice_size - len(self.retained)) / self.lattice_size
+
+    def retained_trees(self) -> list[JoinTree]:
+        return list(self.retained)
+
+    def instantiate(self, tree: JoinTree) -> BoundQuery:
+        """The run-time SQL query of a retained node (keywords filled in)."""
+        cached = self._bound_cache.get(tree)
+        if cached is not None:
+            return cached
+        if tree not in self.retained:
+            raise BindingError(f"tree {tree.describe()} was pruned")
+        query = bind_tree(tree, self.binding, self.mode)
+        self._bound_cache[tree] = query
+        return query
+
+    def is_total(self, tree: JoinTree) -> bool:
+        """Total node: contains the copy bound to *every* keyword (§2.4)."""
+        return self.binding.instances <= tree.instances
+
+
+def bind_tree(
+    tree: JoinTree, binding: KeywordBinding, mode: MatchMode = MatchMode.TOKEN
+) -> BoundQuery:
+    """Attach the binding's keywords to the matching instances of ``tree``."""
+    keyword_map = binding.keyword_map
+    bindings = {
+        instance: keyword_map[instance]
+        for instance in tree.instances
+        if instance in keyword_map
+    }
+    return BoundQuery.from_mapping(tree, bindings, mode)
+
+
+class KeywordBinder:
+    """Binds interpretations to keyword slots and prunes the lattice.
+
+    Construct it either from a materialized :class:`Lattice` (Phase-0 path)
+    or from a bare schema plus ``max_joins`` (direct path); both paths
+    produce identical :class:`PrunedLattice` contents.
+    """
+
+    def __init__(
+        self,
+        lattice: Lattice | None = None,
+        schema: SchemaGraph | None = None,
+        max_joins: int | None = None,
+        max_keywords: int | None = None,
+        mode: MatchMode = MatchMode.TOKEN,
+        free_copies: int = 1,
+    ):
+        if free_copies < 1:
+            raise BindingError("free_copies must be at least 1")
+        if lattice is not None:
+            if free_copies > 1:
+                raise BindingError(
+                    "multiple free copies are only supported in direct mode "
+                    "(the paper's lattice maintains a single R0; build the "
+                    "binder from schema/max_joins instead)"
+                )
+            self.schema = lattice.schema
+            self.max_joins = lattice.max_joins
+            self.max_keywords = lattice.max_keywords
+        else:
+            if schema is None or max_joins is None:
+                raise BindingError(
+                    "KeywordBinder needs a lattice, or a schema and max_joins"
+                )
+            self.schema = schema
+            self.max_joins = max_joins
+            self.max_keywords = (
+                max_keywords if max_keywords is not None else max_joins + 1
+            )
+        self.lattice = lattice
+        self.mode = mode
+        self.free_copies = free_copies
+
+    def bind(self, interpretation: Interpretation) -> KeywordBinding:
+        """Assign the ``i``-th keyword to slot ``i`` of its relation."""
+        assignments: list[tuple[str, RelationInstance]] = []
+        for position, (keyword, relation) in enumerate(
+            interpretation.assignments, start=1
+        ):
+            if relation not in self.schema.relations:
+                raise BindingError(f"unknown relation {relation!r}")
+            if position > self.max_keywords:
+                raise BindingError(
+                    f"query has more keywords than the lattice has slots "
+                    f"({self.max_keywords}); regenerate with a larger "
+                    f"max_keywords"
+                )
+            assignments.append((keyword, RelationInstance(relation, position)))
+        return KeywordBinding(interpretation, tuple(assignments))
+
+    def prune(self, interpretation: Interpretation) -> PrunedLattice:
+        """Phase 1 over the materialized lattice (upward BFS from the base).
+
+        Falls back to :meth:`prune_direct` when no lattice was materialized.
+        """
+        if self.lattice is None:
+            return self.prune_direct(interpretation)
+        started = time.perf_counter()
+        binding = self.bind(interpretation)
+        allowed = self._allowed_instances(binding)
+
+        retained: dict[JoinTree, int] = {}
+        frontier: list[int] = []
+        for node in self.lattice.base_nodes():
+            (instance,) = node.tree.instances
+            if instance in allowed:
+                retained[node.tree] = node.node_id
+                frontier.append(node.node_id)
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for parent_id in self.lattice.node(current).parents:
+                if parent_id in seen:
+                    continue
+                parent_tree = self.lattice.node(parent_id).tree
+                if all(instance in allowed for instance in parent_tree.instances):
+                    seen.add(parent_id)
+                    retained[parent_tree] = parent_id
+                    frontier.append(parent_id)
+        return PrunedLattice(
+            schema=self.schema,
+            binding=binding,
+            retained=retained,
+            mode=self.mode,
+            pruning_time=time.perf_counter() - started,
+            lattice_size=len(self.lattice),
+        )
+
+    def prune_direct(self, interpretation: Interpretation) -> PrunedLattice:
+        """Phase 1 without Phase 0: generate the retained set directly.
+
+        Enumerates all join trees over the binding's alphabet (bound copies
+        plus one free copy per relation) up to ``max_joins + 1`` instances.
+        This produces exactly the trees the lattice walk retains -- the
+        offline lattice's value is amortizing this work across queries, not
+        changing its outcome -- and is how the level-7 experiments run
+        without materializing a level-7 lattice.
+        """
+        return self._generate(interpretation, mtn_targeted=False)
+
+    def prune_for_mtns(self, interpretation: Interpretation) -> PrunedLattice:
+        """Direct generation restricted to subtrees of potential MTNs.
+
+        Every subtree ``T`` of an MTN ``M`` satisfies ``|M| >= |T| +
+        max(missing bound copies, free leaves of T)``: each free leaf of
+        ``T`` must gain a distinct neighbour to become interior in ``M``
+        (two free leaves sharing one new neighbour would close a cycle), and
+        every missing bound copy still needs its own node.  Growing only
+        trees within that budget therefore reaches every MTN while skipping
+        retained trees that no candidate network contains.  The result is
+        marked ``complete=False``; MTN extraction is unaffected (verified by
+        a property test against :meth:`prune_direct`).
+        """
+        return self._generate(interpretation, mtn_targeted=True)
+
+    def _generate(
+        self, interpretation: Interpretation, mtn_targeted: bool
+    ) -> PrunedLattice:
+        started = time.perf_counter()
+        binding = self.bind(interpretation)
+        bound = binding.instances
+        max_size = self.max_joins + 1
+        bound_by_relation: dict[str, list[RelationInstance]] = {}
+        for instance in sorted(bound):
+            bound_by_relation.setdefault(instance.relation, []).append(instance)
+
+        def over_budget(tree: JoinTree) -> bool:
+            if not mtn_targeted:
+                return False
+            missing = len(bound - tree.instances)
+            free_leaves = sum(1 for leaf in tree.leaves() if leaf.is_free)
+            return tree.size + max(missing, free_leaves) > max_size
+
+        def candidates(tree: JoinTree, relation: str) -> list[RelationInstance]:
+            """Attachable instances of ``relation``: bound ones not yet in
+            the tree, plus the lowest absent free rank (rank-permutation
+            twins are never generated)."""
+            found = [
+                instance
+                for instance in bound_by_relation.get(relation, ())
+                if instance not in tree.instances
+            ]
+            next_free = next_free_instance(tree, relation, self.free_copies)
+            if next_free is not None:
+                found.append(next_free)
+            return found
+
+        retained: dict[JoinTree, int] = {}
+        stack: list[JoinTree] = []
+        seeds = sorted(bound) + [
+            free_instance(name, 0) for name in sorted(self.schema.relations)
+        ]
+        for instance in seeds:
+            if mtn_targeted and instance.is_free and max_size > 1:
+                # A lone free node is over budget unless it can still grow
+                # into an MTN; seed from bound instances only (every MTN
+                # contains one) and let free nodes join as connectors.
+                continue
+            tree = JoinTree.single(instance)
+            if over_budget(tree):
+                continue
+            retained[tree] = -1
+            stack.append(tree)
+        while stack:
+            tree = stack.pop()
+            if tree.size >= max_size:
+                continue
+            for instance in tree.sorted_instances():
+                for fk in self.schema.edges_of(instance.relation):
+                    other_relation = fk.other(instance.relation)
+                    for candidate in candidates(tree, other_relation):
+                        if fk.child == instance.relation:
+                            edge = JoinEdge.from_fk(fk, instance, candidate)
+                        else:
+                            edge = JoinEdge.from_fk(fk, candidate, instance)
+                        extended = tree.extend(edge, candidate)
+                        if extended in retained or over_budget(extended):
+                            continue
+                        retained[extended] = -1
+                        stack.append(extended)
+        return PrunedLattice(
+            schema=self.schema,
+            binding=binding,
+            retained=retained,
+            mode=self.mode,
+            pruning_time=time.perf_counter() - started,
+            lattice_size=len(self.lattice) if self.lattice else None,
+            complete=not mtn_targeted,
+        )
+
+    def _allowed_instances(self, binding: KeywordBinding) -> set[RelationInstance]:
+        allowed = set(binding.instances)
+        for relation in self.schema.relations:
+            allowed.update(free_instances(relation, self.free_copies))
+        return allowed

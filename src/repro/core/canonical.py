@@ -1,0 +1,88 @@
+"""Canonical labeling of join trees (Algorithm 2 of the paper).
+
+Candidate join-query networks are trees, so isomorphism testing reduces to
+computing a canonical form in linear time (the paper adapts Aho, Hopcroft &
+Ullman).  Vertices are labeled with ``(relation id, copy index)`` and edges
+with the schema-edge id; the code of a vertex is its id followed by the
+sorted codes of its children, and the canonical label of the tree is the
+minimum code over the minimum-id root(s).
+
+Because every ``(relation, copy)`` pair occurs at most once per tree, the
+canonical label of a copy-labeled tree is equal iff the trees are equal as
+(instance set, edge set) pairs; the lattice exploits this for fast
+deduplication, and a property test pins the equivalence down.
+"""
+
+from __future__ import annotations
+
+from repro.relational.jointree import JoinTree, RelationInstance
+from repro.relational.schema import SchemaGraph
+
+# A code is a nested tuple: (vertex_id, ((edge_id, child_code), ...)).
+Code = tuple
+
+
+def _vertex_id(
+    instance: RelationInstance, schema: SchemaGraph
+) -> tuple[int, int, int]:
+    return (
+        schema.relation_id(instance.relation),
+        1 if instance.free else 0,
+        instance.copy,
+    )
+
+
+def _get_code(
+    tree: JoinTree,
+    schema: SchemaGraph,
+    node: RelationInstance,
+    parent: RelationInstance | None,
+) -> Code:
+    """The recursive ``GetCode`` of Algorithm 2 (tuples instead of strings)."""
+    child_codes = []
+    for edge in tree.edges_of(node):
+        neighbour = edge.other(node)
+        if neighbour == parent:
+            continue
+        child_codes.append(
+            (schema.edge_id(edge.fk), _get_code(tree, schema, neighbour, node))
+        )
+    child_codes.sort()
+    return (_vertex_id(node, schema), tuple(child_codes))
+
+
+def canonical_code(tree: JoinTree, schema: SchemaGraph) -> Code:
+    """Canonical label of ``tree``: hashable, isomorphism-invariant.
+
+    Follows Algorithm 2: root at every vertex with the minimum vertex id and
+    take the lexicographically smallest code.  In copy-labeled trees the
+    minimum-id vertex is unique, but the general form is kept so the function
+    is also correct for vertex-label collisions (exercised in tests).
+    """
+    minimum = min(_vertex_id(instance, schema) for instance in tree.instances)
+    roots = [
+        instance
+        for instance in tree.instances
+        if _vertex_id(instance, schema) == minimum
+    ]
+    return min(_get_code(tree, schema, root, None) for root in roots)
+
+
+def _render(code: Code, schema_names: dict[tuple[int, int], str]) -> str:
+    vertex, children = code
+    name = schema_names.get(vertex, str(vertex))
+    if not children:
+        return f"[{name}]"
+    inner = "".join(
+        f"e{edge_id}{_render(child, schema_names)}" for edge_id, child in children
+    )
+    return f"[{name}|{inner}]"
+
+
+def canonical_string(tree: JoinTree, schema: SchemaGraph) -> str:
+    """The paper's bracketed string form, e.g. ``[v1|e1[v2]e2[v3]]``."""
+    names = {
+        _vertex_id(instance, schema): str(instance)
+        for instance in tree.instances
+    }
+    return _render(canonical_code(tree, schema), names)

@@ -1,0 +1,97 @@
+"""User-defined constraint pushdown (§5, future work).
+
+The paper closes with: *"pushing user-defined constraints into the search
+procedure might greatly prune the search space and therefore significantly
+improve the efficiency."*  This module implements that: a
+:class:`SearchConstraints` object restricts which candidate networks are
+investigated and which sub-queries are explored as explanation candidates,
+*before* any SQL runs.
+
+Soundness requirement: sub-query constraints must be **subtree-closed**
+(if a tree satisfies the constraint, so does every connected subtree), so
+the retained nodes still form a lattice and the R1/R2 inference masks stay
+exact.  The built-in constraints (relation exclusion, level cap) are
+subtree-closed by construction; custom predicates are spot-checked at build
+time.
+
+CN-level constraints (``mtn_predicate``) may be arbitrary: dropping a whole
+candidate network never affects the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.relational.jointree import JoinTree
+
+
+class ConstraintError(ValueError):
+    """Raised when a custom sub-query constraint is not subtree-closed."""
+
+
+@dataclass(frozen=True)
+class SearchConstraints:
+    """Declarative restrictions pushed into the Phase-2/3 search.
+
+    ``exclude_relations``
+        Sub-queries (and candidate networks) touching any of these relations
+        are never explored.  Use it to mute schema regions the developer has
+        already ruled out.
+    ``max_explanation_level``
+        Cap on the size (instance count) of explored sub-queries.  Candidate
+        networks larger than the cap are still classified, but their
+        explanations are reported at this granularity or finer.
+    ``tree_predicate``
+        Custom subtree-closed predicate on :class:`JoinTree`.
+    ``mtn_predicate``
+        Arbitrary predicate selecting which candidate networks to
+        investigate at all.
+    """
+
+    exclude_relations: frozenset[str] = frozenset()
+    max_explanation_level: int | None = None
+    tree_predicate: Callable[[JoinTree], bool] | None = field(default=None)
+    mtn_predicate: Callable[[JoinTree], bool] | None = field(default=None)
+
+    def admits_mtn(self, tree: JoinTree) -> bool:
+        """Should this candidate network be investigated?"""
+        if self.exclude_relations and tree.relations() & self.exclude_relations:
+            return False
+        if self.mtn_predicate is not None and not self.mtn_predicate(tree):
+            return False
+        return True
+
+    def admits_subquery(self, tree: JoinTree) -> bool:
+        """May this sub-query enter the exploration graph?"""
+        if self.exclude_relations and tree.relations() & self.exclude_relations:
+            return False
+        if (
+            self.max_explanation_level is not None
+            and tree.size > self.max_explanation_level
+        ):
+            return False
+        if self.tree_predicate is not None and not self.tree_predicate(tree):
+            return False
+        return True
+
+    def validate_closure(self, tree: JoinTree) -> None:
+        """Spot-check subtree-closure of a custom predicate on one tree.
+
+        Called by the graph builder on every admitted multi-instance tree:
+        each immediate subtree must be admitted too.  This catches
+        non-closed predicates at build time instead of corrupting masks.
+        """
+        if self.tree_predicate is None:
+            return
+        for child in tree.child_subtrees():
+            if not self.admits_subquery(child):
+                raise ConstraintError(
+                    "tree_predicate is not subtree-closed: "
+                    f"{tree.describe()} admitted but {child.describe()} not; "
+                    "apply non-closed filters to the report instead "
+                    "(repro.core.ranking)"
+                )
+
+
+UNCONSTRAINED = SearchConstraints()

@@ -1,0 +1,300 @@
+"""The end-to-end system: all four phases behind one facade.
+
+:class:`NonAnswerDebugger` owns the offline artifacts (inverted index,
+lattice) and, per keyword query, runs
+
+* Phase 1 -- keyword mapping and lattice pruning,
+* Phase 2 -- MTN discovery and exploration-graph construction,
+* Phase 3 -- a traversal strategy classifying MTNs and extracting MPANs,
+
+returning a :class:`DebugReport` with the paper's three outputs: answer
+queries, non-answer queries, and the maximal nonempty sub-queries (MPANs) of
+every non-answer, plus all the instrumentation the evaluation section plots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.binding import KeywordBinder, PrunedLattice
+from repro.core.constraints import UNCONSTRAINED, SearchConstraints
+from repro.core.lattice import Lattice, generate_lattice
+from repro.core.mtn import ExplorationGraph, build_exploration_graph
+from repro.core.traversal import TraversalResult, TraversalStrategy, get_strategy
+from repro.index.inverted import InvertedIndex
+from repro.index.mapper import KeywordMapper, KeywordMapping
+from repro.relational.database import Database
+from repro.relational.engine import InMemoryEngine
+from repro.relational.evaluator import InstrumentedEvaluator, QueryCostModel
+from repro.relational.jointree import BoundQuery
+from repro.relational.predicates import MatchMode
+from repro.relational.sqlite_backend import SqliteEngine
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each online phase."""
+
+    keyword_mapping: float = 0.0
+    lattice_pruning: float = 0.0
+    mtn_discovery: float = 0.0
+    traversal: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.keyword_mapping
+            + self.lattice_pruning
+            + self.mtn_discovery
+            + self.traversal
+        )
+
+
+@dataclass
+class DebugReport:
+    """Everything the system reports for one keyword query."""
+
+    query: str
+    mapping: KeywordMapping
+    pruned_lattices: list[PrunedLattice] = field(default_factory=list)
+    graph: ExplorationGraph | None = None
+    traversal: TraversalResult | None = None
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    # ------------------------------------------------------------- contents
+    @property
+    def aborted(self) -> bool:
+        """True when some keyword occurs nowhere ("and" semantics, §2.3)."""
+        return not self.mapping.complete
+
+    @property
+    def mtn_count(self) -> int:
+        return len(self.graph.mtn_indexes) if self.graph else 0
+
+    @property
+    def retained_nodes(self) -> int:
+        """Union size of nodes retained across interpretations (Phase 1)."""
+        retained: set[int] = set()
+        for pruned in self.pruned_lattices:
+            retained.update(pruned.retained)
+        return len(retained)
+
+    def answers(self) -> list[BoundQuery]:
+        return self.traversal.answer_queries() if self.traversal else []
+
+    def non_answers(self) -> list[BoundQuery]:
+        return self.traversal.non_answer_queries() if self.traversal else []
+
+    def explanations(self) -> list[tuple[BoundQuery, list[BoundQuery]]]:
+        """``(non-answer, its MPANs)`` pairs -- the debugging output."""
+        if not self.traversal:
+            return []
+        pairs = []
+        for mtn_index in self.traversal.dead_mtns:
+            pairs.append(
+                (
+                    self.graph.node(mtn_index).query,
+                    self.traversal.mpan_queries(mtn_index),
+                )
+            )
+        return pairs
+
+    # -------------------------------------------------------------- display
+    @staticmethod
+    def _labels(queries: list[BoundQuery]) -> dict[BoundQuery, str]:
+        """Display labels, using the join-level form only on collisions."""
+        seen: dict[str, int] = {}
+        for query in queries:
+            text = query.describe()
+            seen[text] = seen.get(text, 0) + 1
+        return {
+            query: (
+                query.describe_full()
+                if seen[query.describe()] > 1
+                else query.describe()
+            )
+            for query in queries
+        }
+
+    def render(self, max_items: int = 10) -> str:
+        lines = [f'Keyword query: "{self.query}"']
+        if self.aborted:
+            missing = ", ".join(self.mapping.missing_keywords)
+            lines.append(f"  keywords not found anywhere in the database: {missing}")
+            lines.append("  (no further exploration; 'and' semantics)")
+            return "\n".join(lines)
+        lines.append(
+            f"  interpretations: {len(self.mapping.interpretations)}, "
+            f"MTNs: {self.mtn_count}, exploration nodes: "
+            f"{len(self.graph) if self.graph else 0}"
+        )
+        answers = self.answers()
+        answer_labels = self._labels(answers)
+        lines.append(f"  answer queries ({len(answers)}):")
+        for query in answers[:max_items]:
+            lines.append(f"    + {answer_labels[query]}")
+        if len(answers) > max_items:
+            lines.append(f"    ... and {len(answers) - max_items} more")
+        explanations = self.explanations()
+        non_answer_labels = self._labels([query for query, _ in explanations])
+        lines.append(f"  non-answer queries ({len(explanations)}):")
+        for query, mpans in explanations[:max_items]:
+            lines.append(f"    - {non_answer_labels[query]}")
+            for mpan in mpans[:max_items]:
+                lines.append(f"        maximal alive sub-query: {mpan.describe()}")
+        if len(explanations) > max_items:
+            lines.append(f"    ... and {len(explanations) - max_items} more")
+        if self.traversal:
+            lines.append(f"  SQL effort: {self.traversal.stats}")
+        return "\n".join(lines)
+
+
+class NonAnswerDebugger:
+    """The paper's system: a KWS-S engine that explains its non-answers."""
+
+    def __init__(
+        self,
+        database: Database,
+        max_joins: int = 2,
+        mode: MatchMode = MatchMode.TOKEN,
+        strategy: str | TraversalStrategy = "sbh",
+        backend: str = "memory",
+        cost_model: QueryCostModel | None = None,
+        lattice: Lattice | None = None,
+        use_lattice: bool = True,
+        max_keywords: int | None = None,
+        free_copies: int = 1,
+        max_interpretations: int = 256,
+    ):
+        """Build the offline artifacts for ``database``.
+
+        ``use_lattice=False`` skips Phase 0 and generates each query's
+        retained sub-lattice directly (identical results, no offline cost);
+        that is how the high-level experiments run.  ``max_keywords`` caps
+        the number of keyword slots the lattice materializes (defaults to
+        the paper's ``max_joins + 1``).  ``free_copies > 1`` enables the
+        multi-free-copy extension (direct mode only; see
+        :mod:`repro.core.freecopies`).
+        """
+        self.database = database
+        self.schema = database.schema
+        self.mode = mode
+        self.cost_model = cost_model
+        self.index = InvertedIndex(database)
+        self.mapper = KeywordMapper(
+            self.index, mode=mode, max_interpretations=max_interpretations
+        )
+        if free_copies > 1:
+            use_lattice = False
+            lattice = None
+        if lattice is None and use_lattice:
+            lattice = generate_lattice(self.schema, max_joins, max_keywords)
+        if lattice is not None and lattice.schema is not self.schema:
+            raise ValueError("lattice was generated for a different schema")
+        self.lattice = lattice
+        self.binder = KeywordBinder(
+            lattice=lattice,
+            schema=self.schema,
+            max_joins=max_joins,
+            max_keywords=max_keywords,
+            mode=mode,
+            free_copies=free_copies,
+        )
+        self.strategy = (
+            strategy if isinstance(strategy, TraversalStrategy) else get_strategy(strategy)
+        )
+        if backend == "memory":
+            self.backend: Any = InMemoryEngine(
+                database, tuple_set_provider=self.index.provider
+            )
+        elif backend == "sqlite":
+            self.backend = SqliteEngine(database)
+        else:
+            raise ValueError(f"unknown backend {backend!r}; use 'memory' or 'sqlite'")
+
+    # ------------------------------------------------------------- pipeline
+    def make_evaluator(self, use_cache: bool | None = None) -> InstrumentedEvaluator:
+        if use_cache is None:
+            use_cache = self.strategy.uses_reuse
+        return InstrumentedEvaluator(
+            self.backend, cost_model=self.cost_model, use_cache=use_cache
+        )
+
+    def map_keywords(self, query: str) -> KeywordMapping:
+        """Phase 1a: keyword -> relation mapping via the inverted index."""
+        return self.mapper.map_query(query)
+
+    def prune(self, mapping: KeywordMapping) -> list[PrunedLattice]:
+        """Phase 1b: one pruned lattice per interpretation.
+
+        With a materialized lattice this walks it upward; in direct mode it
+        generates only the MTN-relevant trees (the rest of the pipeline
+        needs nothing else; use ``binder.prune_direct`` for the complete
+        retained set).
+        """
+        if self.lattice is not None:
+            prune = self.binder.prune
+        else:
+            prune = self.binder.prune_for_mtns
+        return [prune(interpretation) for interpretation in mapping.interpretations]
+
+    def build_graph(
+        self,
+        pruned: list[PrunedLattice],
+        constraints: SearchConstraints = UNCONSTRAINED,
+    ) -> ExplorationGraph:
+        """Phase 2: MTNs of every interpretation plus their sub-networks."""
+        return build_exploration_graph(pruned, self.mode, constraints)
+
+    def debug(
+        self,
+        query: str,
+        strategy: str | TraversalStrategy | None = None,
+        evaluator: InstrumentedEvaluator | None = None,
+        constraints: SearchConstraints = UNCONSTRAINED,
+    ) -> DebugReport:
+        """Run phases 1-3 for ``query`` and explain its non-answers."""
+        chosen = self.strategy
+        if strategy is not None:
+            chosen = (
+                strategy
+                if isinstance(strategy, TraversalStrategy)
+                else get_strategy(strategy)
+            )
+        timings = PhaseTimings()
+
+        started = time.perf_counter()
+        mapping = self.map_keywords(query)
+        timings.keyword_mapping = time.perf_counter() - started
+        report = DebugReport(query=query, mapping=mapping, timings=timings)
+        if report.aborted or not mapping.keywords:
+            return report
+
+        started = time.perf_counter()
+        report.pruned_lattices = self.prune(mapping)
+        timings.lattice_pruning = time.perf_counter() - started
+
+        started = time.perf_counter()
+        report.graph = self.build_graph(report.pruned_lattices, constraints)
+        timings.mtn_discovery = time.perf_counter() - started
+
+        if evaluator is None:
+            evaluator = self.make_evaluator(use_cache=chosen.uses_reuse)
+        started = time.perf_counter()
+        report.traversal = chosen.run(report.graph, evaluator, self.database)
+        timings.traversal = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------ utilities
+    def witnesses(self, query: BoundQuery, limit: int = 5) -> list[dict]:
+        """Sample result tuples of a (sub-)query, for display purposes."""
+        if isinstance(self.backend, InMemoryEngine):
+            rows = self.backend.evaluate(query, limit=limit)
+            return [
+                {str(instance): values for instance, values in row.items()}
+                for row in rows
+            ]
+        fetched = self.backend.fetch(query, limit=limit)
+        return [{"row": list(row)} for row in fetched]

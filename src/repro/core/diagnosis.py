@@ -1,0 +1,161 @@
+"""Root-cause diagnosis of non-answers: minimal dead sub-queries + fixes.
+
+MPANs show how far a non-answer *works*; their dual shows exactly where it
+*breaks*: the **minimal dead sub-queries** -- dead sub-networks all of whose
+own sub-networks are alive.  These are the paper's "frontier causes" seen
+from below (cf. Chapman & Jagadish's frontier picky manipulations, which the
+paper cites as its inspiration).  For Example 1's q1 the single minimal dead
+sub-query is ``C^saffron ⋈ I^scented``: both sides return rows, the join
+returns none -- which is precisely why the paper's suggested fix is a
+vocabulary change on the Color side.
+
+Built on the statuses a traversal already computed: diagnosis costs **zero
+additional SQL**.
+
+The classifier buckets each non-answer by the shape of its frontier:
+
+* ``EMPTY_TABLE`` -- some single free table in the network has no rows at
+  all: a data-loading problem.
+* ``DEAD_KEYWORD_PAIR`` -- a minimal dead sub-query carries two or more
+  keywords: the keywords never co-occur under this relationship.  Both of
+  Example 1's q1 and q2 are of this shape; whether the right reaction is a
+  vocabulary fix (q1: add ``saffron`` as a color synonym) or merchandising
+  insight (q2: the store simply has no saffron-scented candles) depends on
+  the data, as the paper's footnote 1 points out -- the suggestion spells
+  out both options.
+* ``EMPTY_JOIN`` -- a minimal dead sub-query is a join carrying at most one
+  keyword: the keyword side returns rows and the free side returns rows,
+  but no foreign key links them; check the FK data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.debugger import DebugReport
+from repro.core.status import Status, StatusStore
+from repro.core.traversal.base import TraversalResult
+from repro.relational.jointree import BoundQuery
+
+
+class Cause(enum.Enum):
+    EMPTY_TABLE = "empty_table"
+    EMPTY_JOIN = "empty_join"
+    DEAD_KEYWORD_PAIR = "dead_keyword_pair"
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Everything the developer needs about one non-answer."""
+
+    non_answer: BoundQuery
+    mpans: tuple[BoundQuery, ...]
+    minimal_dead: tuple[BoundQuery, ...]
+    cause: Cause
+    suggestion: str
+
+    def render(self) -> str:
+        lines = [f"non-answer: {self.non_answer.describe()}"]
+        lines.append(f"  cause: {self.cause.value}")
+        for dead in self.minimal_dead:
+            lines.append(f"  breaks at: {dead.describe()}")
+        for mpan in self.mpans:
+            lines.append(f"  works up to: {mpan.describe()}")
+        lines.append(f"  suggestion: {self.suggestion}")
+        return "\n".join(lines)
+
+
+def minimal_dead_nodes(
+    result: TraversalResult, mtn_index: int
+) -> list[int]:
+    """Dead nodes in the MTN's space whose every sub-network is alive."""
+    graph = result.graph
+    store: StatusStore = result.stores[mtn_index]
+    space = graph.desc_plus(mtn_index)
+    dead = space & store.dead_mask
+    minimal = []
+    for index in graph.bits(dead):
+        if not (graph.desc_mask[index] & store.dead_mask):
+            minimal.append(index)
+    return minimal
+
+
+def _classify(graph, minimal: list[int]) -> Cause:
+    for index in minimal:
+        node = graph.node(index)
+        if node.level == 1 and not node.query.bindings:
+            return Cause.EMPTY_TABLE
+    for index in minimal:
+        if len(graph.node(index).query.keywords) >= 2:
+            return Cause.DEAD_KEYWORD_PAIR
+    return Cause.EMPTY_JOIN
+
+
+def _suggest(graph, cause: Cause, minimal: list[int]) -> str:
+    if cause is Cause.EMPTY_TABLE:
+        empties = sorted(
+            {
+                next(iter(graph.node(index).tree.instances)).relation
+                for index in minimal
+                if graph.node(index).level == 1
+            }
+        )
+        return (
+            f"table(s) {', '.join(empties)} contain no rows; load data "
+            "before debugging further"
+        )
+    if cause is Cause.EMPTY_JOIN:
+        frontier = graph.node(minimal[0]).query
+        return (
+            f"the join {frontier.describe()} is empty although each side "
+            "returns rows; no foreign key links the matching rows -- check "
+            "the key-foreign-key data"
+        )
+    pairs = sorted(
+        {
+            " + ".join(sorted(graph.node(index).query.keywords))
+            for index in minimal
+            if len(graph.node(index).query.keywords) >= 2
+        }
+    )
+    return (
+        f"the keyword combination(s) {'; '.join(pairs)} never co-occur "
+        "under this relationship; if they should, add one keyword as a "
+        "synonym of values the other side already links to (the paper's "
+        "saffron-as-a-color fix); otherwise the partial matches above are "
+        "the best the store can offer (merchandising opportunity)"
+    )
+
+
+def diagnose(report: DebugReport) -> list[Diagnosis]:
+    """One :class:`Diagnosis` per non-answer of a finished debug report."""
+    if report.traversal is None:
+        return []
+    result = report.traversal
+    graph = result.graph
+    diagnoses = []
+    for mtn_index in result.dead_mtns:
+        store = result.stores[mtn_index]
+        assert store.status(mtn_index) is Status.DEAD
+        minimal = minimal_dead_nodes(result, mtn_index)
+        cause = _classify(graph, minimal)
+        diagnoses.append(
+            Diagnosis(
+                non_answer=graph.node(mtn_index).query,
+                mpans=tuple(result.mpan_queries(mtn_index)),
+                minimal_dead=tuple(
+                    graph.node(index).query for index in minimal
+                ),
+                cause=cause,
+                suggestion=_suggest(graph, cause, minimal),
+            )
+        )
+    return diagnoses
+
+
+def render_diagnoses(report: DebugReport) -> str:
+    diagnoses = diagnose(report)
+    if not diagnoses:
+        return "no non-answers to diagnose"
+    return "\n\n".join(d.render() for d in diagnoses)

@@ -1,0 +1,242 @@
+"""Minimal-total nodes and the exploration graph (Phase 2, §2.4).
+
+A retained node is **total** if it contains the copy bound to every keyword
+and **minimal-total** (MTN) if no descendant is total -- equivalently, every
+leaf of its join tree is a keyword-bound copy (removing a free leaf would
+preserve totality).  MTNs correspond exactly to DISCOVER's candidate
+networks; a property test checks that correspondence against the independent
+generator in :mod:`repro.kws`.
+
+The **exploration graph** is the union of every MTN's descendant
+sub-lattice: all connected subtrees of all MTN trees, deduplicated, with
+
+* immediate parent/child edges (one leaf removed),
+* transitive descendant/ancestor sets as Python-int bitsets (cheap
+  ``&``/``|``/popcount at the sizes the paper reports), and
+* the instantiated :class:`~repro.relational.jointree.BoundQuery` per node.
+
+Every Phase-3 traversal strategy and both baselines run over this structure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.binding import KeywordBinding, PrunedLattice, bind_tree
+from repro.core.constraints import UNCONSTRAINED, SearchConstraints
+from repro.core.freecopies import normalize_free_ranks
+from repro.relational.jointree import BoundQuery, JoinTree
+from repro.relational.predicates import MatchMode
+
+
+def is_minimal_total(tree: JoinTree, binding: KeywordBinding) -> bool:
+    """True iff ``tree`` is total and all of its leaves are keyword-bound."""
+    bound = binding.instances
+    if not bound <= tree.instances:
+        return False
+    return all(leaf in bound for leaf in tree.leaves())
+
+
+def find_mtns(pruned: PrunedLattice) -> list[JoinTree]:
+    """The minimal-total trees of a pruned lattice (deterministic order)."""
+    binding = pruned.binding
+    mtns = [
+        tree
+        for tree in pruned.retained
+        if is_minimal_total(tree, binding)
+    ]
+    return sorted(mtns, key=lambda tree: (tree.size, tree.describe()))
+
+
+@dataclass
+class ExplorationNode:
+    """One node of the exploration graph."""
+
+    index: int
+    tree: JoinTree
+    query: BoundQuery
+    level: int
+    is_mtn: bool = False
+    parents: list[int] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " MTN" if self.is_mtn else ""
+        return f"ExplorationNode({self.index}, {self.query.describe()}{flag})"
+
+
+class ExplorationGraph:
+    """MTNs plus all their sub-networks, with fast ancestry bitsets."""
+
+    def __init__(
+        self,
+        mode: MatchMode = MatchMode.TOKEN,
+        constraints: SearchConstraints = UNCONSTRAINED,
+    ):
+        self.mode = mode
+        self.constraints = constraints
+        self.nodes: list[ExplorationNode] = []
+        self.mtn_indexes: list[int] = []
+        self._by_query: dict[BoundQuery, int] = {}
+        # Bitsets (Python ints); bit i refers to self.nodes[i].
+        self.desc_mask: list[int] = []  # strict descendants
+        self.asc_mask: list[int] = []  # strict ancestors
+        # Exact descendant sets recorded per MTN during enumeration; they
+        # bridge the gap a max_explanation_level constraint opens between an
+        # over-cap MTN and its retained sub-queries.
+        self._mtn_desc: dict[int, int] = {}
+        self.build_time: float = 0.0
+
+    # ------------------------------------------------------------ building
+    def _intern(self, query: BoundQuery) -> int:
+        # Keyed by the *bound query*, not the bare tree: the same tree can
+        # carry different keywords in different interpretations (e.g. two
+        # keywords that both occur in Person), and those are distinct SQL
+        # queries with distinct aliveness.  Free ranks are normalized first
+        # so rank-permuted twins (multi-free-copy extension) collapse into
+        # one node; with a single free copy this is the identity.
+        query = normalize_free_ranks(query)
+        index = self._by_query.get(query)
+        if index is not None:
+            return index
+        index = len(self.nodes)
+        node = ExplorationNode(index, query.tree, query, query.tree.size)
+        self.nodes.append(node)
+        self._by_query[query] = index
+        return index
+
+    def add_mtn(self, query: BoundQuery) -> int | None:
+        """Add one MTN and every admitted connected subtree of its join tree.
+
+        Returns ``None`` when the search constraints rule the candidate
+        network out entirely.
+        """
+        if not self.constraints.admits_mtn(query.tree):
+            return None
+        mtn_index = self._intern(query)
+        if not self.nodes[mtn_index].is_mtn:
+            self.nodes[mtn_index].is_mtn = True
+            self.mtn_indexes.append(mtn_index)
+        desc_bits = self._mtn_desc.get(mtn_index, 0)
+        for subtree in query.tree.connected_subtrees():
+            if subtree.instances == query.tree.instances:
+                continue
+            if not self.constraints.admits_subquery(subtree):
+                continue
+            self.constraints.validate_closure(subtree)
+            desc_bits |= 1 << self._intern(query.subquery(subtree))
+        self._mtn_desc[mtn_index] = desc_bits
+        return mtn_index
+
+    def finalize(self) -> "ExplorationGraph":
+        """Wire parent/child edges and compute ancestry bitsets."""
+        started = time.perf_counter()
+        for node in self.nodes:
+            if node.tree.size == 1:
+                continue
+            for child_tree in node.tree.child_subtrees():
+                child_index = self._by_query.get(
+                    normalize_free_ranks(node.query.subquery(child_tree))
+                )
+                if child_index is None:
+                    # Only possible for an MTN whose immediate subtrees were
+                    # dropped by a max_explanation_level constraint; the
+                    # recorded per-MTN descendant set bridges the gap below.
+                    continue
+                node.children.append(child_index)
+                self.nodes[child_index].parents.append(node.index)
+        order = sorted(range(len(self.nodes)), key=lambda i: self.nodes[i].level)
+        self.desc_mask = [0] * len(self.nodes)
+        for index in order:  # ascending level: children first
+            mask = 0
+            for child in self.nodes[index].children:
+                mask |= (1 << child) | self.desc_mask[child]
+            self.desc_mask[index] = mask
+        for mtn_index, recorded in self._mtn_desc.items():
+            self.desc_mask[mtn_index] |= recorded
+        self.asc_mask = [0] * len(self.nodes)
+        for index in reversed(order):  # descending level: parents first
+            mask = 0
+            for parent in self.nodes[index].parents:
+                mask |= (1 << parent) | self.asc_mask[parent]
+            self.asc_mask[index] = mask
+        for mtn_index in self.mtn_indexes:
+            bit = 1 << mtn_index
+            for member in self.bits(self.desc_mask[mtn_index]):
+                self.asc_mask[member] |= bit
+        self.mtn_indexes.sort()
+        self.build_time += time.perf_counter() - started
+        return self
+
+    # --------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def max_level(self) -> int:
+        return max((node.level for node in self.nodes), default=0)
+
+    def node(self, index: int) -> ExplorationNode:
+        return self.nodes[index]
+
+    def mtns(self) -> list[ExplorationNode]:
+        return [self.nodes[index] for index in self.mtn_indexes]
+
+    def level_indexes(self, level: int) -> list[int]:
+        return [node.index for node in self.nodes if node.level == level]
+
+    def desc_plus(self, index: int) -> int:
+        """Bitset of ``Desc+(n) = {n} | Desc(n)``."""
+        return self.desc_mask[index] | (1 << index)
+
+    def asc_plus(self, index: int) -> int:
+        return self.asc_mask[index] | (1 << index)
+
+    def bits(self, mask: int) -> list[int]:
+        """Indexes of the set bits of ``mask`` (ascending)."""
+        result = []
+        while mask:
+            low = mask & -mask
+            result.append(low.bit_length() - 1)
+            mask ^= low
+        return result
+
+    # ----------------------------------------------------------- statistics
+    def descendant_counts(self) -> tuple[int, int]:
+        """``(total, unique)`` descendant counts over all MTNs (Fig. 10/13).
+
+        *total* counts each MTN's strict descendants with multiplicity across
+        MTNs; *unique* counts distinct nodes.  The paper's reuse percentage
+        is ``100 * (1 - unique / total)``.
+        """
+        total = 0
+        union = 0
+        for mtn_index in self.mtn_indexes:
+            mask = self.desc_mask[mtn_index]
+            total += mask.bit_count()
+            union |= mask
+        return total, union.bit_count()
+
+    def reuse_percentage(self) -> float:
+        total, unique = self.descendant_counts()
+        return 100.0 * (1.0 - unique / total) if total else 0.0
+
+
+def build_exploration_graph(
+    pruned_lattices: list[PrunedLattice],
+    mode: MatchMode = MatchMode.TOKEN,
+    constraints: SearchConstraints = UNCONSTRAINED,
+) -> ExplorationGraph:
+    """Phase 2 for a whole keyword query: MTNs of every interpretation.
+
+    Sub-queries shared between interpretations (or between MTNs of one
+    interpretation) become a single node, which is exactly the overlap the
+    reuse-based traversals exploit.  ``constraints`` push user-defined
+    restrictions into the search (§5 future work).
+    """
+    graph = ExplorationGraph(mode, constraints)
+    for pruned in pruned_lattices:
+        for tree in find_mtns(pruned):
+            graph.add_mtn(bind_tree(tree, pruned.binding, mode))
+    return graph.finalize()

@@ -1,0 +1,191 @@
+"""Persistence for the offline artifacts and for debug reports.
+
+Phase 0 is "computed offline ... a one-time cost" (§3.1): a production
+deployment generates the lattice once and serves queries from it.  This
+module round-trips the lattice to JSON so deployments can do exactly that,
+and serializes :class:`~repro.core.debugger.DebugReport` objects so the
+debugging output can feed dashboards and regression suites.
+
+Formats are plain JSON with a version tag; loaders validate against the
+provided schema graph, so a lattice file cannot silently be applied to a
+different database.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.debugger import DebugReport
+from repro.core.lattice import Lattice, LatticeStats
+from repro.relational.jointree import BoundQuery, JoinEdge, JoinTree, RelationInstance
+from repro.relational.schema import SchemaGraph
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """Raised on malformed or mismatched artifact files."""
+
+
+# ----------------------------------------------------------- tree encoding
+def encode_tree(tree: JoinTree) -> dict[str, Any]:
+    return {
+        "instances": [
+            [i.relation, i.copy, i.free] for i in tree.sorted_instances()
+        ],
+        "edges": [
+            [edge.fk, edge.a.relation, edge.a.copy, edge.a.free, edge.a_column,
+             edge.b.relation, edge.b.copy, edge.b.free, edge.b_column]
+            for edge in sorted(
+                tree.edges, key=lambda e: (e.a, e.a_column, e.b, e.b_column)
+            )
+        ],
+    }
+
+
+def decode_tree(payload: dict[str, Any]) -> JoinTree:
+    try:
+        instances = frozenset(
+            RelationInstance(relation, copy, free)
+            for relation, copy, free in payload["instances"]
+        )
+        edges = frozenset(
+            JoinEdge(
+                fk,
+                RelationInstance(a_rel, a_copy, a_free),
+                a_col,
+                RelationInstance(b_rel, b_copy, b_free),
+                b_col,
+            )
+            for fk, a_rel, a_copy, a_free, a_col,
+                b_rel, b_copy, b_free, b_col in payload["edges"]
+        )
+        return JoinTree(instances, edges)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed join tree payload: {exc}") from exc
+
+
+def encode_query(query: BoundQuery) -> dict[str, Any]:
+    return {
+        "tree": encode_tree(query.tree),
+        "bindings": [
+            [instance.relation, instance.copy, keyword]
+            for instance, keyword in sorted(query.bindings)
+        ],  # bound instances are never free, so no flag is needed here
+        "mode": query.mode.value,
+    }
+
+
+# -------------------------------------------------------- lattice save/load
+def save_lattice(lattice: Lattice, path: str | Path) -> None:
+    """Write a lattice (nodes, adjacency, stats, config) as JSON."""
+    stats = lattice.stats
+    payload = {
+        "format": FORMAT_VERSION,
+        "kind": "lattice",
+        "max_joins": lattice.max_joins,
+        "max_keywords": lattice.max_keywords,
+        "distinct_slots": lattice.distinct_slots,
+        "free_copies": lattice.free_copies,
+        "relations": sorted(lattice.schema.relations),
+        "foreign_keys": sorted(lattice.schema.foreign_keys),
+        "nodes": [
+            {
+                "tree": encode_tree(node.tree),
+                "parents": sorted(node.parents),
+            }
+            for node in lattice.nodes
+        ],
+        "stats": {
+            "levels": stats.levels,
+            "nodes_per_level": stats.nodes_per_level,
+            "duplicates_per_level": stats.duplicates_per_level,
+            "time_per_level": stats.time_per_level,
+        }
+        if stats
+        else None,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_lattice(path: str | Path, schema: SchemaGraph) -> Lattice:
+    """Read a lattice saved by :func:`save_lattice` and re-link it.
+
+    The file's relation/foreign-key names must match ``schema`` exactly;
+    node ids and adjacency are preserved.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "lattice" or payload.get("format") != FORMAT_VERSION:
+        raise PersistenceError(f"{path} is not a v{FORMAT_VERSION} lattice file")
+    if payload["relations"] != sorted(schema.relations) or payload[
+        "foreign_keys"
+    ] != sorted(schema.foreign_keys):
+        raise PersistenceError(
+            f"{path} was generated for a different schema graph"
+        )
+    lattice = Lattice(
+        schema,
+        payload["max_joins"],
+        max_keywords=payload["max_keywords"],
+        distinct_slots=payload["distinct_slots"],
+        free_copies=payload["free_copies"],
+    )
+    for entry in payload["nodes"]:
+        tree = decode_tree(entry["tree"])
+        node_id, duplicate = lattice._add(tree)
+        if duplicate:
+            raise PersistenceError(f"duplicate node in {path}")
+    # Parent links in a second pass, once all ids exist.
+    for node_id, entry in enumerate(payload["nodes"]):
+        for parent_id in entry["parents"]:
+            if parent_id >= len(lattice.nodes):
+                raise PersistenceError(f"dangling parent id in {path}")
+            lattice._link(node_id, parent_id)
+    stats = payload.get("stats")
+    if stats:
+        lattice.stats = LatticeStats(
+            stats["levels"],
+            stats["nodes_per_level"],
+            stats["duplicates_per_level"],
+            stats["time_per_level"],
+        )
+    return lattice
+
+
+# -------------------------------------------------------- report export
+def report_to_dict(report: DebugReport) -> dict[str, Any]:
+    """A JSON-ready summary of one debugging run."""
+    payload: dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "kind": "debug_report",
+        "query": report.query,
+        "keywords": list(report.mapping.keywords),
+        "missing_keywords": list(report.mapping.missing_keywords),
+        "aborted": report.aborted,
+        "interpretations": len(report.mapping.interpretations),
+        "mtn_count": report.mtn_count,
+        "timings": {
+            "keyword_mapping": report.timings.keyword_mapping,
+            "lattice_pruning": report.timings.lattice_pruning,
+            "mtn_discovery": report.timings.mtn_discovery,
+            "traversal": report.timings.traversal,
+        },
+    }
+    if report.traversal is not None:
+        payload["answers"] = [encode_query(q) for q in report.answers()]
+        payload["non_answers"] = [
+            {
+                "query": encode_query(query),
+                "mpans": [encode_query(m) for m in mpans],
+            }
+            for query, mpans in report.explanations()
+        ]
+        payload["sql_queries_executed"] = report.traversal.stats.queries_executed
+        payload["strategy"] = report.traversal.strategy
+    return payload
+
+
+def save_report(report: DebugReport, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(report_to_dict(report), indent=2))

@@ -1,0 +1,114 @@
+"""Post-processing of debugging output: filters and priority ordering.
+
+§1 of the paper observes that the number of sub-queries can be large and
+suggests letting the developer *"define various filters or a priority
+hierarchy on the returned sub-queries"* on top of the core machinery.  This
+module provides that layer.  Nothing here affects the search itself (use
+:mod:`repro.core.constraints` for pushdown); these are presentation-time
+transforms over a finished :class:`~repro.core.debugger.DebugReport`.
+
+Rankers are plain scoring callables; higher scores sort first.  The built-in
+rankers order MPANs by how much of the original query they preserve --
+keyword coverage first, then size -- which surfaces the most informative
+frontier causes (e.g. ``I^scented ⋈ A^saffron`` before the trivial
+``C^saffron``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.debugger import DebugReport
+from repro.relational.jointree import BoundQuery
+
+MpanScorer = Callable[[BoundQuery, BoundQuery], float]
+MpanFilter = Callable[[BoundQuery, BoundQuery], bool]
+
+
+def keyword_coverage(mpan: BoundQuery, non_answer: BoundQuery) -> float:
+    """Fraction of the non-answer's keywords the MPAN still carries."""
+    total = len(non_answer.keywords)
+    if not total:
+        return 0.0
+    return len(mpan.keywords & non_answer.keywords) / total
+
+
+def relative_size(mpan: BoundQuery, non_answer: BoundQuery) -> float:
+    """Fraction of the non-answer's join tree the MPAN preserves."""
+    return mpan.tree.size / non_answer.tree.size
+
+
+def default_scorer(mpan: BoundQuery, non_answer: BoundQuery) -> float:
+    """Coverage-first, size-second (coverage dominates via weighting)."""
+    return 10.0 * keyword_coverage(mpan, non_answer) + relative_size(mpan, non_answer)
+
+
+def only_bound(mpan: BoundQuery, non_answer: BoundQuery) -> bool:
+    """Keep MPANs that carry at least one keyword (drop free-only frontiers)."""
+    return bool(mpan.keywords)
+
+
+@dataclass(frozen=True)
+class RankedExplanation:
+    """One non-answer with its filtered, priority-ordered MPANs."""
+
+    non_answer: BoundQuery
+    mpans: tuple[BoundQuery, ...]
+    scores: tuple[float, ...]
+
+    def top(self, k: int) -> list[BoundQuery]:
+        return list(self.mpans[:k])
+
+
+@dataclass
+class ExplanationRanker:
+    """Configurable filter + priority hierarchy over a report's explanations."""
+
+    scorer: MpanScorer = field(default=default_scorer)
+    filters: tuple[MpanFilter, ...] = ()
+    top_k: int | None = None
+
+    def rank_mpans(
+        self, non_answer: BoundQuery, mpans: list[BoundQuery]
+    ) -> RankedExplanation:
+        kept = [
+            mpan
+            for mpan in mpans
+            if all(keep(mpan, non_answer) for keep in self.filters)
+        ]
+        scored = sorted(
+            ((self.scorer(mpan, non_answer), mpan) for mpan in kept),
+            key=lambda pair: (-pair[0], pair[1].describe()),
+        )
+        if self.top_k is not None:
+            scored = scored[: self.top_k]
+        return RankedExplanation(
+            non_answer,
+            tuple(mpan for _, mpan in scored),
+            tuple(score for score, _ in scored),
+        )
+
+    def rank_report(self, report: DebugReport) -> list[RankedExplanation]:
+        """Rank every non-answer's MPANs; non-answers with the most keyword
+        interpretations ruled out come first."""
+        ranked = [
+            self.rank_mpans(non_answer, mpans)
+            for non_answer, mpans in report.explanations()
+        ]
+        ranked.sort(
+            key=lambda explanation: (
+                -(max(explanation.scores, default=0.0)),
+                explanation.non_answer.describe(),
+            )
+        )
+        return ranked
+
+    def render(self, report: DebugReport, max_items: int = 5) -> str:
+        """Human-readable prioritized summary."""
+        lines = [f'Prioritized explanations for "{report.query}":']
+        for explanation in self.rank_report(report)[:max_items]:
+            lines.append(f"  - {explanation.non_answer.describe()}")
+            for score, mpan in zip(explanation.scores, explanation.mpans):
+                lines.append(f"      {score:5.2f}  {mpan.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Interactive debugging sessions (§5, future work).
+
+The paper notes that *"debugging is often an interactive process and it is
+worth studying how to combine the search for MPANs with user intervention."*
+A :class:`DebugSession` supports exactly that workflow: the developer sees
+the list of candidate networks, classifies cheap ones on demand, asks for
+explanations only where they care, and dismisses uninteresting candidates --
+all over **one shared status store and evaluation cache**, so every action
+benefits from everything learned before it (rules R1/R2 included).
+
+Example::
+
+    session = DebugSession(debugger, "saffron scented candle")
+    for mtn in session.overview():          # no SQL yet
+        print(mtn)
+    session.classify(0)                     # 1 SQL query (or 0 if inferred)
+    session.explain(0)                      # resolves just that search space
+    session.dismiss(1)                      # never spend SQL on this one
+    print(session.progress())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import UNCONSTRAINED, SearchConstraints
+from repro.core.debugger import NonAnswerDebugger
+from repro.core.status import Status, StatusStore
+from repro.core.traversal.base import seed_base_levels
+from repro.relational.jointree import BoundQuery
+
+
+class SessionError(RuntimeError):
+    """Raised on invalid session operations (unknown or aborted queries)."""
+
+
+@dataclass(frozen=True)
+class MtnView:
+    """One candidate network as shown to the interactive user."""
+
+    position: int
+    query: BoundQuery
+    status: Status
+    dismissed: bool
+    explained: bool
+
+    def __str__(self) -> str:
+        flags = [self.status.value]
+        if self.dismissed:
+            flags.append("dismissed")
+        if self.explained:
+            flags.append("explained")
+        return f"[{self.position}] {self.query.describe()} ({', '.join(flags)})"
+
+
+class DebugSession:
+    """Incremental, user-driven exploration of one keyword query."""
+
+    def __init__(
+        self,
+        debugger: NonAnswerDebugger,
+        query: str,
+        constraints: SearchConstraints = UNCONSTRAINED,
+    ):
+        self.debugger = debugger
+        self.query = query
+        mapping = debugger.map_keywords(query)
+        if not mapping.complete or not mapping.keywords:
+            missing = ", ".join(mapping.missing_keywords) or "(empty query)"
+            raise SessionError(
+                f"cannot open a session: keywords not in the database: {missing}"
+            )
+        self.mapping = mapping
+        self.graph = debugger.build_graph(debugger.prune(mapping), constraints)
+        self.evaluator = debugger.make_evaluator(use_cache=True)
+        self.store = StatusStore(self.graph)
+        seed_base_levels(self.graph, self.store, debugger.database)
+        self._dismissed: set[int] = set()
+        self._explained: dict[int, list[int]] = {}
+
+    # -------------------------------------------------------------- reading
+    def overview(self) -> list[MtnView]:
+        """All candidate networks with their current knowledge (no SQL)."""
+        views = []
+        for position, mtn_index in enumerate(self.graph.mtn_indexes):
+            views.append(
+                MtnView(
+                    position,
+                    self.graph.node(mtn_index).query,
+                    self.store.status(mtn_index),
+                    mtn_index in self._dismissed,
+                    mtn_index in self._explained,
+                )
+            )
+        return views
+
+    def progress(self) -> str:
+        classified = sum(
+            1
+            for mtn_index in self.graph.mtn_indexes
+            if self.store.is_known(mtn_index)
+        )
+        return (
+            f"{classified}/{len(self.graph.mtn_indexes)} candidate networks "
+            f"classified, {len(self._explained)} explained, "
+            f"{len(self._dismissed)} dismissed; {self.evaluator.stats}"
+        )
+
+    def _mtn_index(self, position: int) -> int:
+        try:
+            return self.graph.mtn_indexes[position]
+        except IndexError:
+            raise SessionError(
+                f"no candidate network #{position}; the session has "
+                f"{len(self.graph.mtn_indexes)}"
+            ) from None
+
+    # -------------------------------------------------------------- actions
+    def classify(self, position: int) -> Status:
+        """Classify one candidate network with the least possible work.
+
+        Costs one SQL query unless its status is already implied by earlier
+        answers (shared store) or by the evaluation cache.
+        """
+        mtn_index = self._mtn_index(position)
+        if not self.store.is_known(mtn_index):
+            alive = self.evaluator.is_alive(self.graph.node(mtn_index).query)
+            self.store.record(mtn_index, alive)
+        return self.store.status(mtn_index)
+
+    def explain(self, position: int) -> list[BoundQuery]:
+        """MPANs of one candidate network, resolving only its search space.
+
+        Alive candidates have no explanation (they *are* answers) and return
+        an empty list.  The resolution sweeps the candidate's descendants
+        top-down through the shared store, so overlapping spaces of other
+        candidates get classified for free.
+        """
+        mtn_index = self._mtn_index(position)
+        if self.classify(position) is Status.ALIVE:
+            return []
+        if mtn_index not in self._explained:
+            domain = self.graph.desc_plus(mtn_index)
+            for level in range(self.graph.node(mtn_index).level - 1, 0, -1):
+                unknown = self.store.unknown_mask & domain
+                if not unknown:
+                    break
+                for index in self.graph.level_indexes(level):
+                    if (unknown >> index) & 1 and not self.store.is_known(index):
+                        alive = self.evaluator.is_alive(self.graph.node(index).query)
+                        self.store.record(index, alive)
+            self._explained[mtn_index] = self.store.mpans_of(mtn_index)
+        return [
+            self.graph.node(index).query for index in self._explained[mtn_index]
+        ]
+
+    def dismiss(self, position: int) -> None:
+        """Mark a candidate as uninteresting; bulk operations skip it."""
+        self._dismissed.add(self._mtn_index(position))
+
+    def explain_all(self) -> dict[int, list[BoundQuery]]:
+        """Explain every non-dismissed candidate network."""
+        explanations = {}
+        for position, mtn_index in enumerate(self.graph.mtn_indexes):
+            if mtn_index in self._dismissed:
+                continue
+            mpans = self.explain(position)
+            if self.store.status(mtn_index) is Status.DEAD:
+                explanations[position] = mpans
+        return explanations

@@ -1,0 +1,140 @@
+"""Shared machinery for the Phase-3 traversal strategies."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from repro.core.mtn import ExplorationGraph
+from repro.core.status import StatusStore
+from repro.relational.database import Database
+from repro.relational.evaluator import EvaluationStats, InstrumentedEvaluator
+from repro.relational.jointree import BoundQuery
+
+
+@dataclass
+class TraversalResult:
+    """Outcome of one Phase-3 run over an exploration graph."""
+
+    strategy: str
+    graph: ExplorationGraph
+    alive_mtns: list[int] = field(default_factory=list)
+    dead_mtns: list[int] = field(default_factory=list)
+    mpans: dict[int, list[int]] = field(default_factory=dict)
+    stats: EvaluationStats = field(default_factory=EvaluationStats)
+    elapsed: float = 0.0
+    # The status store that classified each MTN (one shared store for the
+    # reuse strategies, one per MTN for BU/TD).  Diagnosis reads minimal
+    # dead sub-queries out of these after the fact.
+    stores: dict[int, StatusStore] = field(default_factory=dict)
+
+    @property
+    def mpan_pair_count(self) -> int:
+        """Number of (dead MTN, MPAN) pairs -- the paper's MPAN count."""
+        return sum(len(indexes) for indexes in self.mpans.values())
+
+    @property
+    def unique_mpan_count(self) -> int:
+        distinct: set[int] = set()
+        for indexes in self.mpans.values():
+            distinct.update(indexes)
+        return len(distinct)
+
+    def answer_queries(self) -> list[BoundQuery]:
+        return [self.graph.node(index).query for index in self.alive_mtns]
+
+    def non_answer_queries(self) -> list[BoundQuery]:
+        return [self.graph.node(index).query for index in self.dead_mtns]
+
+    def mpan_queries(self, mtn_index: int) -> list[BoundQuery]:
+        return [
+            self.graph.node(index).query for index in self.mpans.get(mtn_index, [])
+        ]
+
+    def classification_signature(self) -> tuple:
+        """Canonical summary for cross-strategy equivalence checks."""
+        return (
+            tuple(sorted(self.alive_mtns)),
+            tuple(sorted(self.dead_mtns)),
+            tuple(
+                (mtn, tuple(sorted(indexes)))
+                for mtn, indexes in sorted(self.mpans.items())
+            ),
+        )
+
+
+def seed_base_levels(
+    graph: ExplorationGraph, store: StatusStore, database: Database
+) -> None:
+    """Classify level-1 nodes without SQL (Algorithm 3's ``GetBaseNodes``).
+
+    A keyword-bound base node is alive by construction -- the interpretation
+    only binds a keyword to relations the inverted index found it in.  A free
+    base node is alive iff its table is non-empty, a catalog lookup.  Neither
+    costs an SQL query.
+    """
+    for index in graph.level_indexes(1):
+        if store.is_known(index) or not (store.domain >> index) & 1:
+            continue
+        node = graph.node(index)
+        (instance,) = node.tree.instances
+        if node.query.bindings:
+            store.mark_alive(index, evaluated=False)
+        else:
+            table = database.table(instance.relation)
+            store.record(index, alive=len(table) > 0, evaluated=False)
+
+
+class TraversalStrategy(abc.ABC):
+    """Interface of the five traversal strategies.
+
+    ``uses_reuse`` tells the caller whether to hand this strategy a caching
+    evaluator (BUWR/TDWR/SBH) or a non-caching one (BU/TD re-execute common
+    sub-queries per MTN, as measured in the paper).
+    """
+
+    name: str = "base"
+    uses_reuse: bool = True
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        graph: ExplorationGraph,
+        evaluator: InstrumentedEvaluator,
+        database: Database,
+        result: TraversalResult,
+    ) -> None:
+        """Classify all MTNs and fill ``result`` (template method)."""
+
+    def run(
+        self,
+        graph: ExplorationGraph,
+        evaluator: InstrumentedEvaluator,
+        database: Database,
+    ) -> TraversalResult:
+        started = time.perf_counter()
+        before = evaluator.stats.snapshot()
+        result = TraversalResult(self.name, graph)
+        self._run(graph, evaluator, database, result)
+        result.alive_mtns.sort()
+        result.dead_mtns.sort()
+        result.stats = evaluator.stats.diff(before)
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    def _collect(
+        self, store: StatusStore, result: TraversalResult, mtn_index: int
+    ) -> None:
+        """Record one classified MTN (and its MPANs if dead) into the result."""
+        from repro.core.status import Status
+
+        status = store.status(mtn_index)
+        result.stores[mtn_index] = store
+        if status is Status.ALIVE:
+            result.alive_mtns.append(mtn_index)
+        elif status is Status.DEAD:
+            result.dead_mtns.append(mtn_index)
+            result.mpans[mtn_index] = store.mpans_of(mtn_index)
+        else:  # pragma: no cover - defended against by every strategy
+            raise RuntimeError(f"MTN {mtn_index} left unclassified")

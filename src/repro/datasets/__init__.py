@@ -1,0 +1,19 @@
+"""Datasets: the paper's running example and the evaluation corpus.
+
+* :mod:`repro.datasets.products` -- the Figure-2 product database, verbatim,
+  so Example 1's q1/q2 and their MPANs reproduce exactly.
+* :mod:`repro.datasets.dblife` -- a seeded synthetic stand-in for the DBLife
+  snapshot (5 entity + 9 relationship tables, star-shaped around ``Person``)
+  used by every evaluation experiment.  See DESIGN.md, substitution #1.
+"""
+
+from repro.datasets.products import product_database, product_schema
+from repro.datasets.dblife import DBLifeConfig, dblife_database, dblife_schema
+
+__all__ = [
+    "product_database",
+    "product_schema",
+    "DBLifeConfig",
+    "dblife_database",
+    "dblife_schema",
+]

@@ -1,0 +1,427 @@
+"""A seeded synthetic stand-in for the DBLife snapshot (§3 of the paper).
+
+The real DBLife crawl (801,189 tuples, 40 MB, 2009) is not publicly
+archived, so the evaluation runs on a generator that reproduces the
+*structural* properties the experiments depend on:
+
+* the same schema shape: 5 entity tables (``Person``, ``Publication``,
+  ``Conference``, ``Organization``, ``Topic``) that carry all the text, and
+  9 relationship tables with no text attributes, star-shaped around
+  ``Person`` (Figure 8);
+* keyword -> table containment patterns of the workload (Table 2): person
+  names occur only in ``Person``, ``Washington`` occurs in ``Person``,
+  ``Publication`` and ``Organization``, topic terms occur in ``Topic`` and
+  ``Publication``, and so on;
+* connectivity that is sparse at low join depths and denser at high depths,
+  which is what concentrates MTNs/MPANs at the higher lattice levels
+  (Table 3) and makes top-down traversals win (§3.5).
+
+``scale`` multiplies every table's cardinality; ``seed`` fixes the RNG, so
+a (seed, scale) pair is a reproducible snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    AttributeType,
+    ForeignKey,
+    Relation,
+    SchemaGraph,
+)
+
+_INT = AttributeType.INTEGER
+_TEXT = AttributeType.TEXT
+
+# --------------------------------------------------------------------- vocab
+# Famous surnames used by the Table-2 workload.  They only ever occur in
+# Person.name.
+WORKLOAD_SURNAMES = (
+    "Widom", "Hristidis", "Agrawal", "Chaudhuri", "Das",
+    "DeRose", "Gray", "DeWitt",
+)
+
+FILLER_SURNAMES = (
+    "Almeida", "Brickell", "Castano", "Dumas", "Eltabakh", "Fontoura",
+    "Ganti", "Hellerman", "Ivanova", "Jagadeesh", "Koudas", "Lomet",
+    "Melnik", "Nestorov", "Olston", "Polyzotis", "Quass", "Ramakrishna",
+    "Srivastava", "Theobald", "Upadhyaya", "Vianu", "Yerneni", "Zilio",
+)
+
+FIRST_NAMES = (
+    "Jennifer", "Vagelis", "Rakesh", "Surajit", "Gautam", "Pedro", "Jim",
+    "David", "Ana", "Boris", "Carla", "Dmitri", "Elena", "Frank", "Grace",
+    "Hector", "Irene", "Jorge", "Karen", "Luis", "Mona", "Nikos", "Olga",
+    "Paulo", "Rita", "Stefan", "Tanya", "Umar", "Vera", "Walter",
+)
+
+# The one ambiguous workload term: a surname, a university, and a benchmark.
+AMBIGUOUS_TERM = "Washington"
+
+CONFERENCES = (
+    "VLDB", "SIGMOD", "ICDE", "EDBT", "CIDR",
+    "KDD", "CIKM", "PODS", "WebDB", "SSDBM",
+)
+
+ORGANIZATIONS = (
+    f"University of {AMBIGUOUS_TERM}",
+    "University of Wisconsin",
+    "Stanford University",
+    "IBM Research",
+    "Microsoft Research",
+    "AT&T Labs",
+    "Bell Laboratories",
+    "Cornell University",
+    "ETH Zurich",
+    "Max Planck Institute",
+    "Google Research",
+    "Yahoo Research",
+)
+
+# Topic vocabulary; the workload terms keyword/search/probabilistic/data/
+# xml/stream/histograms/trio all live here (and leak into titles below).
+TOPICS = (
+    "keyword search",
+    "probabilistic data",
+    "trio lineage",
+    "xml processing",
+    "stream processing",
+    "histograms",
+    "data integration",
+    "query optimization",
+    "information extraction",
+    "schema matching",
+    "provenance",
+    "skyline queries",
+    "entity resolution",
+    "sensor networks",
+    "approximate answering",
+    "data cleaning",
+)
+
+TITLE_PATTERNS = (
+    "A Study of {topic}",
+    "Efficient {topic} in Relational Systems",
+    "On the Complexity of {topic}",
+    "Scalable {topic} for the Web",
+    "Adaptive {topic} Revisited",
+    "Towards Practical {topic}",
+    "{topic} over Uncertain Databases",
+    "Indexing Techniques for {topic}",
+)
+
+TUTORIAL_PATTERN = "A Tutorial on {topic}"
+BENCHMARK_TITLE = f"The {AMBIGUOUS_TERM} Benchmark for Probabilistic Data"
+
+
+@dataclass(frozen=True)
+class DBLifeConfig:
+    """Size and determinism knobs of the generator."""
+
+    seed: int = 42
+    scale: int = 1
+    persons: int = 60
+    publications: int = 150
+    organizations: int = len(ORGANIZATIONS)
+    conferences: int = len(CONFERENCES)
+    topics: int = len(TOPICS)
+
+    def count(self, base: int) -> int:
+        return base * self.scale
+
+
+def dblife_schema() -> SchemaGraph:
+    """The 14-table DBLife schema: 5 entity + 9 relationship tables."""
+
+    def entity(name: str, text_column: str) -> Relation:
+        return Relation(name, (Attribute("id", _INT), Attribute(text_column, _TEXT)))
+
+    def link(name: str, left: str, right: str) -> Relation:
+        return Relation(
+            name,
+            (
+                Attribute("id", _INT),
+                Attribute(left, _INT),
+                Attribute(right, _INT),
+            ),
+        )
+
+    relations = [
+        entity("Person", "name"),
+        entity("Publication", "title"),
+        entity("Conference", "name"),
+        entity("Organization", "name"),
+        entity("Topic", "name"),
+        link("Writes", "person_id", "pub_id"),
+        link("Coauthor", "person1_id", "person2_id"),
+        link("Affiliation", "person_id", "org_id"),
+        link("ServesOn", "person_id", "conf_id"),
+        link("GaveTalk", "person_id", "org_id"),
+        link("GaveTutorial", "person_id", "conf_id"),
+        link("WorksOn", "person_id", "topic_id"),
+        link("PublishedIn", "pub_id", "conf_id"),
+        link("About", "pub_id", "topic_id"),
+    ]
+    foreign_keys = [
+        ForeignKey("writes_person", "Writes", "person_id", "Person", "id"),
+        ForeignKey("writes_pub", "Writes", "pub_id", "Publication", "id"),
+        ForeignKey("coauthor_p1", "Coauthor", "person1_id", "Person", "id"),
+        ForeignKey("coauthor_p2", "Coauthor", "person2_id", "Person", "id"),
+        ForeignKey("affiliation_person", "Affiliation", "person_id", "Person", "id"),
+        ForeignKey("affiliation_org", "Affiliation", "org_id", "Organization", "id"),
+        ForeignKey("serveson_person", "ServesOn", "person_id", "Person", "id"),
+        ForeignKey("serveson_conf", "ServesOn", "conf_id", "Conference", "id"),
+        ForeignKey("gavetalk_person", "GaveTalk", "person_id", "Person", "id"),
+        ForeignKey("gavetalk_org", "GaveTalk", "org_id", "Organization", "id"),
+        ForeignKey("gavetutorial_person", "GaveTutorial", "person_id", "Person", "id"),
+        ForeignKey("gavetutorial_conf", "GaveTutorial", "conf_id", "Conference", "id"),
+        ForeignKey("workson_person", "WorksOn", "person_id", "Person", "id"),
+        ForeignKey("workson_topic", "WorksOn", "topic_id", "Topic", "id"),
+        ForeignKey("publishedin_pub", "PublishedIn", "pub_id", "Publication", "id"),
+        ForeignKey("publishedin_conf", "PublishedIn", "conf_id", "Conference", "id"),
+        ForeignKey("about_pub", "About", "pub_id", "Publication", "id"),
+        ForeignKey("about_topic", "About", "topic_id", "Topic", "id"),
+    ]
+    return SchemaGraph.build(relations, foreign_keys)
+
+
+class _Generator:
+    """Stateful helper that fills the tables; one instance per snapshot."""
+
+    def __init__(self, config: DBLifeConfig):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.database = Database(dblife_schema())
+        # entity name -> list of integer ids (1-based like the paper's toy DB)
+        self.ids: dict[str, list[int]] = {}
+        self.person_by_surname: dict[str, int] = {}
+        self.conference_by_name: dict[str, int] = {}
+        self.topic_by_name: dict[str, int] = {}
+        self.tutorial_pubs: list[int] = []
+        self._link_seen: dict[str, set[tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------- entities
+    def _add_entity(self, relation: str, text: str) -> int:
+        rows = self.ids.setdefault(relation, [])
+        new_id = len(rows) + 1
+        self.database.insert(relation, (new_id, text))
+        rows.append(new_id)
+        return new_id
+
+    def _add_link(self, relation: str, left: int, right: int) -> None:
+        seen = self._link_seen.setdefault(relation, set())
+        if (left, right) in seen:
+            return
+        seen.add((left, right))
+        table = self.database.table(relation)
+        self.database.insert(relation, (len(table) + 1, left, right))
+
+    def generate(self) -> Database:
+        self._persons()
+        self._conferences()
+        self._organizations()
+        self._topics()
+        self._publications()
+        self._relationships()
+        self._workload_targets()
+        self.database.validate()
+        return self.database
+
+    def _persons(self) -> None:
+        config = self.config
+        for surname in WORKLOAD_SURNAMES:
+            first = self.rng.choice(FIRST_NAMES)
+            self.person_by_surname[surname] = self._add_entity(
+                "Person", f"{first} {surname}"
+            )
+        # One person surnamed Washington (the ambiguous term).
+        self.person_by_surname[AMBIGUOUS_TERM] = self._add_entity(
+            "Person", f"Nora {AMBIGUOUS_TERM}"
+        )
+        fillers = config.count(config.persons) - len(self.person_by_surname)
+        for index in range(max(fillers, 0)):
+            first = self.rng.choice(FIRST_NAMES)
+            surname = FILLER_SURNAMES[index % len(FILLER_SURNAMES)]
+            self._add_entity("Person", f"{first} {surname}")
+
+    def _conferences(self) -> None:
+        for name in CONFERENCES:
+            self.conference_by_name[name] = self._add_entity(
+                "Conference", f"{name} Conference"
+            )
+
+    def _organizations(self) -> None:
+        for name in ORGANIZATIONS:
+            self._add_entity("Organization", name)
+
+    def _topics(self) -> None:
+        for name in TOPICS:
+            self.topic_by_name[name] = self._add_entity("Topic", name)
+
+    def _publications(self) -> None:
+        config = self.config
+        total = config.count(config.publications)
+        # A fixed slice of titles are tutorials (the Q6 keyword) and one title
+        # carries the ambiguous Washington term (Q8).
+        self._add_entity("Publication", BENCHMARK_TITLE)
+        for index in range(total - 1):
+            topic = TOPICS[index % len(TOPICS)]
+            if index % 17 == 0:
+                title = TUTORIAL_PATTERN.format(topic=topic.title())
+                pub_id = self._add_entity("Publication", title)
+                self.tutorial_pubs.append(pub_id)
+            else:
+                pattern = self.rng.choice(TITLE_PATTERNS)
+                self._add_entity("Publication", pattern.format(topic=topic.title()))
+
+    # -------------------------------------------------------- relationships
+    def _relationships(self) -> None:
+        rng = self.rng
+        config = self.config
+        persons = self.ids["Person"]
+        pubs = self.ids["Publication"]
+        confs = self.ids["Conference"]
+        orgs = self.ids["Organization"]
+        topics = self.ids["Topic"]
+
+        # Every publication appears in exactly one conference and is about
+        # one or two topics.
+        for pub in pubs:
+            self._add_link("PublishedIn", pub, rng.choice(confs))
+            for topic in rng.sample(topics, rng.randint(1, 2)):
+                self._add_link("About", pub, topic)
+
+        # Authorship: 1-3 authors per publication; coauthorship follows.
+        for pub in pubs:
+            authors = rng.sample(persons, rng.randint(1, 3))
+            for author in authors:
+                self._add_link("Writes", author, pub)
+            for left in authors:
+                for right in authors:
+                    if left < right:
+                        self._add_link("Coauthor", left, right)
+
+        # Sparse person-side relationships (low join depths stay sparse,
+        # which pushes answers to higher lattice levels, §3.5).
+        for person in persons:
+            if rng.random() < 0.8:
+                self._add_link("Affiliation", person, rng.choice(orgs))
+            if rng.random() < 0.5:
+                self._add_link("ServesOn", person, rng.choice(confs))
+            if rng.random() < 0.3:
+                self._add_link("GaveTalk", person, rng.choice(orgs))
+            if rng.random() < 0.15:
+                self._add_link("GaveTutorial", person, rng.choice(confs))
+            for topic in rng.sample(topics, rng.randint(1, 3)):
+                self._add_link("WorksOn", person, topic)
+
+    def _workload_targets(self) -> None:
+        """Pin down the alive/dead structure the Table-2 queries rely on.
+
+        Each adjustment below removes or adds specific links so that the
+        workload queries have the paper's qualitative shape: some maximal
+        sub-queries die at low levels while relationships with more hops
+        stay alive (Q4/Q6), and well-connected people produce many answer
+        networks (Q1/Q3).
+        """
+        by_surname = self.person_by_surname
+        confs = self.conference_by_name
+        topics = self.topic_by_name
+        rng = self.rng
+
+        # Q1: Widom works on trio lineage (alive at level 3).
+        self._add_link("WorksOn", by_surname["Widom"], topics["trio lineage"])
+        trio_pub = self._pub_about("trio lineage")
+        self._add_link("Writes", by_surname["Widom"], trio_pub)
+
+        # Q2: Hristidis works on keyword search and wrote a paper about it.
+        self._add_link("WorksOn", by_surname["Hristidis"], topics["keyword search"])
+        self._add_link("Writes", by_surname["Hristidis"], self._pub_about("keyword search"))
+
+        # Q3: the Agrawal-Chaudhuri-Das triangle of coauthors.
+        trio = [by_surname["Agrawal"], by_surname["Chaudhuri"], by_surname["Das"]]
+        shared_pub = self._pub_about("query optimization")
+        for person in trio:
+            self._add_link("Writes", person, shared_pub)
+        for left in trio:
+            for right in trio:
+                if left < right:
+                    self._add_link("Coauthor", left, right)
+
+        # Q4: DeRose has *no* direct VLDB relationship (dead at level 3) but
+        # coauthors with Gray, who serves on the VLDB committee (alive
+        # further out).
+        derose = by_surname["DeRose"]
+        self._drop_links("ServesOn", derose, confs["VLDB"])
+        self._drop_links("GaveTutorial", derose, confs["VLDB"])
+        self._drop_person_conf_pubs(derose, confs["VLDB"])
+        self._add_link("Coauthor", min(derose, by_surname["Gray"]),
+                       max(derose, by_surname["Gray"]))
+        self._add_link("ServesOn", by_surname["Gray"], confs["VLDB"])
+
+        # Q5: Gray serves on SIGMOD (alive at level 3).
+        self._add_link("ServesOn", by_surname["Gray"], confs["SIGMOD"])
+
+        # Q6: DeWitt wrote no tutorial himself, but a coauthor did.
+        dewitt = by_surname["DeWitt"]
+        for pub in self.tutorial_pubs:
+            self._drop_links("Writes", dewitt, pub)
+        partner = by_surname["Gray"]
+        if self.tutorial_pubs:
+            self._add_link("Writes", partner, rng.choice(self.tutorial_pubs))
+        self._add_link("Coauthor", min(dewitt, partner), max(dewitt, partner))
+
+        # Q8: Nora Washington works on probabilistic data.
+        self._add_link(
+            "WorksOn", by_surname[AMBIGUOUS_TERM], topics["probabilistic data"]
+        )
+
+    # ------------------------------------------------------------- plumbing
+    def _pub_about(self, topic_name: str) -> int:
+        """Some publication already linked to ``topic_name``."""
+        topic_id = self.topic_by_name[topic_name]
+        about = self.database.table("About")
+        for row in about:
+            if row[2] == topic_id:
+                return row[1]
+        # No publication covers the topic yet: link the first one.
+        pub_id = self.ids["Publication"][0]
+        self._add_link("About", pub_id, topic_id)
+        return pub_id
+
+    def _drop_links(self, relation: str, left: int, right: int) -> None:
+        """Remove all (left, right) rows of a link table (rebuilds the table)."""
+        table = self.database.table(relation)
+        kept = [row for row in table if not (row[1] == left and row[2] == right)]
+        self._rebuild(relation, kept)
+        seen = self._link_seen.setdefault(relation, set())
+        seen.discard((left, right))
+
+    def _drop_person_conf_pubs(self, person: int, conf: int) -> None:
+        """Detach ``person`` from every publication of conference ``conf``."""
+        published = self.database.table("PublishedIn")
+        conf_pubs = {row[1] for row in published if row[2] == conf}
+        writes = self.database.table("Writes")
+        kept = [
+            row for row in writes if not (row[1] == person and row[2] in conf_pubs)
+        ]
+        self._rebuild("Writes", kept)
+        seen = self._link_seen.setdefault("Writes", set())
+        for pub in conf_pubs:
+            seen.discard((person, pub))
+
+    def _rebuild(self, relation: str, rows: list) -> None:
+        from repro.relational.table import Table
+
+        self.database.tables[relation] = Table(
+            self.database.schema.relation(relation), rows
+        )
+
+
+def dblife_database(config: DBLifeConfig | None = None) -> Database:
+    """Generate a synthetic DBLife snapshot (deterministic per config)."""
+    return _Generator(config or DBLifeConfig()).generate()

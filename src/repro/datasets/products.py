@@ -1,0 +1,114 @@
+"""The Figure-2 product database -- the paper's running example.
+
+Four tables: ``Item`` (I) with foreign keys into ``ProductType`` (P),
+``Color`` (C) and ``Attribute`` (A).  The data is copied row-for-row from
+Figure 2, including the quirks the example depends on: no item has the
+saffron color, item 3's description mentions "saffron scented", and item 1
+(an oil, not a candle) is the only saffron-scented product.
+
+With this data and the keyword query ``saffron scented candle``:
+
+* q1 = P^candle ⋈ I^scented ⋈ C^saffron is dead; its MPANs are
+  ``P^candle ⋈ I^scented`` and ``C^saffron``;
+* q2 = P^candle ⋈ I^scented ⋈ A^saffron is dead; its MPANs are
+  ``P^candle ⋈ I^scented`` and ``I^scented ⋈ A^saffron``;
+
+exactly as derived in Example 1 (integration tests pin this down).
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.relational.schema import (
+    Attribute,
+    AttributeType,
+    ForeignKey,
+    Relation,
+    SchemaGraph,
+)
+
+_INT = AttributeType.INTEGER
+_TEXT = AttributeType.TEXT
+_REAL = AttributeType.REAL
+
+
+def product_schema() -> SchemaGraph:
+    """The Figure-2 schema: Item joining ProductType, Color, Attribute."""
+    relations = [
+        Relation(
+            "ProductType",
+            (Attribute("id", _INT), Attribute("name", _TEXT)),
+        ),
+        Relation(
+            "Color",
+            (
+                Attribute("id", _INT),
+                Attribute("name", _TEXT),
+                Attribute("synonyms", _TEXT),
+            ),
+        ),
+        Relation(
+            "Attribute",
+            (
+                Attribute("id", _INT),
+                Attribute("property", _TEXT),
+                Attribute("value", _TEXT),
+            ),
+        ),
+        Relation(
+            "Item",
+            (
+                Attribute("id", _INT),
+                Attribute("name", _TEXT),
+                Attribute("ptype", _INT),
+                Attribute("color", _INT),
+                Attribute("attr", _INT),
+                Attribute("cost", _REAL),
+                Attribute("description", _TEXT),
+            ),
+        ),
+    ]
+    foreign_keys = [
+        ForeignKey("item_ptype", "Item", "ptype", "ProductType", "id"),
+        ForeignKey("item_color", "Item", "color", "Color", "id"),
+        ForeignKey("item_attr", "Item", "attr", "Attribute", "id"),
+    ]
+    return SchemaGraph.build(relations, foreign_keys)
+
+
+def product_database() -> Database:
+    """The Figure-2 instance, loaded and integrity-checked."""
+    database = Database(product_schema())
+    database.load(
+        {
+            "ProductType": [
+                (1, "oil"),
+                (2, "candle"),
+                (3, "incense"),
+            ],
+            "Color": [
+                (1, "red", "crimson, orange"),
+                (2, "yellow", "golden, lemon"),
+                (3, "pink", "peach, salmon"),
+                (4, "saffron", "yellow, orange"),
+            ],
+            "Attribute": [
+                (1, "scent", "saffron"),
+                (2, "scent", "vanilla"),
+                (3, "pattern", "floral"),
+                (4, "pattern", "checkered"),
+            ],
+            "Item": [
+                (1, "saffron scented oil", 1, None, 1, 4.99,
+                 "3.4 oz. burns without fumes."),
+                (2, "vanilla scented candle", 2, 2, 2, 5.99,
+                 "burn time 50 hrs. 6.4 oz. 2pck."),
+                (3, "crimson scented candle", 2, 1, 3, 3.99,
+                 "hand-made. saffron scented. 2pck."),
+                (4, "red checkered candle", 2, 1, 4, 3.99,
+                 "rose scented. made from essential oils."),
+            ],
+        }
+    )
+    database.validate()
+    return database

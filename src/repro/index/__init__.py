@@ -1,0 +1,12 @@
+"""Full-text indexing substrate (the paper used Lucene here).
+
+Provides the inverted index over a :class:`~repro.relational.database.Database`
+used in Phase 1 to map keywords to the relations that contain them, and the
+tuple-set provider that lets the execution engine resolve keyword predicates
+without scanning tables.
+"""
+
+from repro.index.inverted import InvertedIndex, Posting
+from repro.index.mapper import KeywordMapper, KeywordMapping
+
+__all__ = ["InvertedIndex", "Posting", "KeywordMapper", "KeywordMapping"]

@@ -1,0 +1,104 @@
+"""A pure-Python inverted index over the text attributes of a database.
+
+The index is built once per database snapshot (the paper's Lucene indexes
+play the same role) and supports the two match modes of
+:class:`~repro.relational.predicates.MatchMode`:
+
+* ``TOKEN`` -- direct postings lookup;
+* ``SUBSTRING`` -- the paper's ``LIKE '%kw%'``: resolved by scanning the
+  vocabulary for tokens containing the keyword and unioning their postings.
+  This is exact as long as keywords are single tokens (multi-word input is
+  split into separate keywords upstream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.relational.database import Database
+from repro.relational.predicates import MatchMode, tokenize
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One keyword occurrence: relation, attribute, and row id."""
+
+    relation: str
+    attribute: str
+    row_id: int
+
+
+class InvertedIndex:
+    """Token -> postings over every searchable attribute of every table."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        # token -> relation -> set of row ids
+        self._postings: dict[str, dict[str, set[int]]] = {}
+        # token -> full postings (with attribute), built only if requested
+        self._detailed: dict[str, list[Posting]] = {}
+        self._vocabulary_by_relation: dict[str, set[str]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for table in self.database.iter_tables():
+            relation = table.relation.name
+            vocabulary = self._vocabulary_by_relation.setdefault(relation, set())
+            for row_id in range(len(table)):
+                for attribute, text in table.text_cells(row_id):
+                    for token in tokenize(text):
+                        vocabulary.add(token)
+                        by_relation = self._postings.setdefault(token, {})
+                        by_relation.setdefault(relation, set()).add(row_id)
+                        self._detailed.setdefault(token, []).append(
+                            Posting(relation, attribute, row_id)
+                        )
+
+    # --------------------------------------------------------------- lookup
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def tokens(self) -> Iterator[str]:
+        return iter(self._postings)
+
+    def _matching_tokens(self, keyword: str, mode: MatchMode) -> list[str]:
+        needle = keyword.lower()
+        if mode is MatchMode.TOKEN:
+            return [needle] if needle in self._postings else []
+        return [token for token in self._postings if needle in token]
+
+    def relations_containing(self, keyword: str, mode: MatchMode = MatchMode.TOKEN) -> tuple[str, ...]:
+        """Relations with at least one row matching ``keyword`` (sorted)."""
+        relations: set[str] = set()
+        for token in self._matching_tokens(keyword, mode):
+            relations.update(self._postings[token])
+        return tuple(sorted(relations))
+
+    def tuple_set(
+        self, relation: str, keyword: str, mode: MatchMode = MatchMode.TOKEN
+    ) -> frozenset[int]:
+        """Row ids of ``relation`` matching ``keyword`` under ``mode``."""
+        ids: set[int] = set()
+        for token in self._matching_tokens(keyword, mode):
+            ids.update(self._postings[token].get(relation, ()))
+        return frozenset(ids)
+
+    def postings(self, keyword: str, mode: MatchMode = MatchMode.TOKEN) -> list[Posting]:
+        """Detailed postings (with attribute names) for a keyword."""
+        found: list[Posting] = []
+        for token in self._matching_tokens(keyword, mode):
+            found.extend(self._detailed.get(token, ()))
+        return found
+
+    def provider(self, relation: str, keyword: str, mode: MatchMode) -> set[int]:
+        """Adapter matching the engine's ``TupleSetProvider`` signature."""
+        return set(self.tuple_set(relation, keyword, mode))
+
+    def document_frequency(self, keyword: str, mode: MatchMode = MatchMode.TOKEN) -> int:
+        """Total number of matching rows across all relations."""
+        return sum(
+            len(self.tuple_set(relation, keyword, mode))
+            for relation in self.relations_containing(keyword, mode)
+        )

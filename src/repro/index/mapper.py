@@ -1,0 +1,135 @@
+"""Phase-1 keyword-to-relation mapping.
+
+Given a keyword query, decide for each keyword which relations contain it
+(via the inverted index), report keywords that occur nowhere ("and"
+semantics: such a query is investigated no further, §2.3), and enumerate
+*interpretations* -- one choice of relation per keyword -- which the system
+processes one at a time (§2.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.index.inverted import InvertedIndex
+from repro.relational.predicates import MatchMode, tokenize
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """One relation choice per keyword: ``(('widom', 'Person'), ...)``.
+
+    Ordered by keyword position in the original query so the downstream
+    keyword -> copy assignment is deterministic.
+    """
+
+    assignments: tuple[tuple[str, str], ...]
+
+    def relation_of(self, keyword: str) -> str:
+        for assigned_keyword, relation in self.assignments:
+            if assigned_keyword == keyword:
+                return relation
+        raise KeyError(keyword)
+
+    def describe(self) -> str:
+        return ", ".join(f"{kw}->{rel}" for kw, rel in self.assignments)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass
+class KeywordMapping:
+    """Result of mapping one keyword query onto the schema."""
+
+    keywords: tuple[str, ...]
+    relations_by_keyword: dict[str, tuple[str, ...]]
+    missing_keywords: tuple[str, ...]
+    mapping_time: float
+    mode: MatchMode = MatchMode.TOKEN
+    interpretations: tuple[Interpretation, ...] = field(default=())
+
+    @property
+    def complete(self) -> bool:
+        """True iff every keyword occurs somewhere in the database."""
+        return not self.missing_keywords
+
+    def describe(self) -> str:
+        lines = [f"keywords: {' '.join(self.keywords)}"]
+        for keyword in self.keywords:
+            relations = self.relations_by_keyword.get(keyword, ())
+            shown = ", ".join(relations) if relations else "(nowhere)"
+            lines.append(f"  {keyword:<16} -> {shown}")
+        if self.missing_keywords:
+            lines.append(f"  missing: {', '.join(self.missing_keywords)}")
+        lines.append(f"  interpretations: {len(self.interpretations)}")
+        return "\n".join(lines)
+
+
+class KeywordMapper:
+    """Maps keyword queries to relations and enumerates interpretations."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        mode: MatchMode = MatchMode.TOKEN,
+        max_interpretations: int = 256,
+    ):
+        self.index = index
+        self.mode = mode
+        self.max_interpretations = max_interpretations
+
+    def parse(self, query: str) -> tuple[str, ...]:
+        """Split a raw keyword query into keywords (single, unique tokens).
+
+        Duplicate keywords are collapsed ("and" semantics makes a repeated
+        keyword redundant), preserving first-occurrence order.
+        """
+        seen: set[str] = set()
+        keywords: list[str] = []
+        for token in tokenize(query):
+            if token not in seen:
+                seen.add(token)
+                keywords.append(token)
+        return tuple(keywords)
+
+    def map_query(self, query: str) -> KeywordMapping:
+        """Map every keyword of ``query`` to the relations containing it."""
+        started = time.perf_counter()
+        keywords = self.parse(query)
+        relations_by_keyword: dict[str, tuple[str, ...]] = {}
+        missing: list[str] = []
+        for keyword in keywords:
+            relations = self.index.relations_containing(keyword, self.mode)
+            relations_by_keyword[keyword] = relations
+            if not relations:
+                missing.append(keyword)
+        mapping = KeywordMapping(
+            keywords=keywords,
+            relations_by_keyword=relations_by_keyword,
+            missing_keywords=tuple(missing),
+            mapping_time=time.perf_counter() - started,
+            mode=self.mode,
+        )
+        if mapping.complete and keywords:
+            mapping.interpretations = self._interpretations(mapping)
+        return mapping
+
+    def _interpretations(self, mapping: KeywordMapping) -> tuple[Interpretation, ...]:
+        """Cartesian product of per-keyword relation choices, capped.
+
+        The cap guards against adversarial queries whose every keyword occurs
+        in every table; the paper's workload stays far below it.
+        """
+        choice_lists = [
+            [(keyword, relation) for relation in mapping.relations_by_keyword[keyword]]
+            for keyword in mapping.keywords
+        ]
+        interpretations = []
+        for combination in itertools.product(*choice_lists):
+            interpretations.append(Interpretation(tuple(combination)))
+            if len(interpretations) >= self.max_interpretations:
+                break
+        return tuple(interpretations)

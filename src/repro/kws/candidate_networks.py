@@ -1,0 +1,90 @@
+"""DISCOVER-style candidate network enumeration.
+
+A candidate network (CN) for an interpretation is a join tree that
+
+* contains the keyword-bound copy of **every** keyword ("and" semantics),
+* may contain free copies (at most one ``R0`` per relation, mirroring the
+  lattice's single free copy), and
+* has **no free leaf** -- a free leaf could be dropped without losing any
+  keyword, so the network would not be minimal.
+
+This generator is deliberately independent of the lattice: it grows trees
+outward from the first keyword-bound copy over the allowed instance
+alphabet.  Property tests assert that its output equals the MTNs that
+Phases 1-2 extract from the lattice, which is the paper's claim that MTNs
+"correspond to candidate networks in KWS-S systems" (§2.4).
+"""
+
+from __future__ import annotations
+
+from repro.core.binding import KeywordBinding
+from repro.core.freecopies import next_free_instance
+from repro.relational.jointree import JoinEdge, JoinTree, RelationInstance
+from repro.relational.schema import SchemaGraph
+
+
+def _grow(
+    tree: JoinTree,
+    schema: SchemaGraph,
+    bound: frozenset[RelationInstance],
+    free_copies: int,
+    max_size: int,
+    seen: set[JoinTree],
+) -> None:
+    """Depth-first enumeration of connected trees over the alphabet."""
+    if tree in seen:
+        return
+    seen.add(tree)
+    if tree.size >= max_size:
+        return
+    for instance in tree.sorted_instances():
+        for fk in schema.edges_of(instance.relation):
+            other_relation = fk.other(instance.relation)
+            candidates = [
+                bound_instance
+                for bound_instance in bound
+                if bound_instance.relation == other_relation
+                and bound_instance not in tree.instances
+            ]
+            next_free = next_free_instance(tree, other_relation, free_copies)
+            if next_free is not None:
+                candidates.append(next_free)
+            for candidate in candidates:
+                if fk.child == instance.relation:
+                    edge = JoinEdge.from_fk(fk, instance, candidate)
+                else:
+                    edge = JoinEdge.from_fk(fk, candidate, instance)
+                _grow(
+                    tree.extend(edge, candidate),
+                    schema,
+                    bound,
+                    free_copies,
+                    max_size,
+                    seen,
+                )
+
+
+def enumerate_candidate_networks(
+    schema: SchemaGraph,
+    binding: KeywordBinding,
+    max_size: int,
+    free_copies: int = 1,
+) -> list[JoinTree]:
+    """All candidate networks of one interpretation, up to ``max_size`` instances."""
+    bound = binding.instances
+    if not bound:
+        return []
+    seen: set[JoinTree] = set()
+    # Every CN contains all bound copies, so growing from any one of them
+    # reaches every CN; enumerate all connected trees, then filter.
+    anchor = sorted(bound)[0]
+    _grow(JoinTree.single(anchor), schema, frozenset(bound), free_copies,
+          max_size, seen)
+    networks = []
+    for tree in seen:
+        if not bound <= tree.instances:
+            continue
+        if any(leaf not in bound for leaf in tree.leaves()):
+            continue
+        networks.append(tree)
+    return sorted(networks, key=lambda t: (t.size, t.describe()))

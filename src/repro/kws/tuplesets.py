@@ -1,0 +1,62 @@
+"""Tuple sets: the per-keyword row selections of DISCOVER.
+
+``R^k`` (the *keyword tuple set*) holds the rows of relation ``R`` matching
+keyword ``k``; ``R^{}`` (the *free tuple set*) is the whole relation.  Join
+networks of tuple sets (JNTS) are join trees whose vertices are tuple sets;
+in the lattice formulation a keyword tuple set is a keyword-bound copy and a
+free tuple set is the ``R0`` copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.index.inverted import InvertedIndex
+from repro.relational.predicates import MatchMode
+
+
+@dataclass(frozen=True)
+class TupleSet:
+    """Rows of one relation matching one keyword (or all rows if free)."""
+
+    relation: str
+    keyword: str | None
+    row_ids: frozenset[int]
+
+    @property
+    def is_free(self) -> bool:
+        return self.keyword is None
+
+    @property
+    def size(self) -> int:
+        return len(self.row_ids)
+
+    def describe(self) -> str:
+        superscript = self.keyword if self.keyword is not None else ""
+        return f"{self.relation}^{{{superscript}}}"
+
+
+def compute_tuple_sets(
+    index: InvertedIndex,
+    keywords: tuple[str, ...],
+    mode: MatchMode = MatchMode.TOKEN,
+) -> dict[str, list[TupleSet]]:
+    """Keyword tuple sets for every keyword, grouped by keyword.
+
+    Only non-empty tuple sets are returned (DISCOVER does the same: a
+    keyword that misses a relation contributes nothing there).
+    """
+    by_keyword: dict[str, list[TupleSet]] = {}
+    for keyword in keywords:
+        sets = []
+        for relation in index.relations_containing(keyword, mode):
+            row_ids = index.tuple_set(relation, keyword, mode)
+            if row_ids:
+                sets.append(TupleSet(relation, keyword, row_ids))
+        by_keyword[keyword] = sets
+    return by_keyword
+
+
+def free_tuple_set(index: InvertedIndex, relation: str) -> TupleSet:
+    table = index.database.table(relation)
+    return TupleSet(relation, None, frozenset(range(len(table))))

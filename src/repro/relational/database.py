@@ -1,0 +1,85 @@
+"""A database instance: one table per relation of a schema graph."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.relational.schema import SchemaError, SchemaGraph
+from repro.relational.table import Table
+
+
+class IntegrityError(ValueError):
+    """Raised by :meth:`Database.validate` on foreign-key violations."""
+
+
+class Database:
+    """Tables for every relation of a frozen :class:`SchemaGraph`.
+
+    The database owns the data that both executors (the in-memory engine and
+    the sqlite3 backend) and the inverted index read.  It deliberately has no
+    update log or transactions: the paper's system operates on a fixed
+    snapshot (the lattice is generated offline against it).
+    """
+
+    def __init__(self, schema: SchemaGraph):
+        if not schema.frozen:
+            raise SchemaError("database requires a frozen schema graph")
+        self.schema = schema
+        self.tables: dict[str, Table] = {
+            name: Table(relation) for name, relation in schema.relations.items()
+        }
+
+    # -------------------------------------------------------------- loading
+    def table(self, relation: str) -> Table:
+        try:
+            return self.tables[relation]
+        except KeyError:
+            raise SchemaError(f"unknown relation {relation!r}") from None
+
+    def insert(self, relation: str, row: Sequence[Any]) -> int:
+        return self.table(relation).insert(row)
+
+    def insert_dict(self, relation: str, values: Mapping[str, Any]) -> int:
+        return self.table(relation).insert_dict(dict(values))
+
+    def load(self, data: Mapping[str, Iterable[Sequence[Any]]]) -> None:
+        """Bulk-load ``{relation: rows}``."""
+        for relation, rows in data.items():
+            self.table(relation).extend(rows)
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        """Total number of tuples across all tables."""
+        return sum(len(table) for table in self.tables.values())
+
+    def iter_tables(self) -> Iterator[Table]:
+        for name in sorted(self.tables):
+            yield self.tables[name]
+
+    def cardinalities(self) -> dict[str, int]:
+        return {name: len(self.tables[name]) for name in sorted(self.tables)}
+
+    def validate(self) -> None:
+        """Check every declared foreign key; raise on the first violation."""
+        for foreign_key in self.schema.foreign_keys.values():
+            child = self.table(foreign_key.child)
+            parent = self.table(foreign_key.parent)
+            violations = child.validate_foreign_key(
+                foreign_key.child_column, parent, foreign_key.parent_column
+            )
+            if violations:
+                raise IntegrityError(
+                    f"foreign key {foreign_key.name!r} violated by "
+                    f"{len(violations)} row(s) of {foreign_key.child!r} "
+                    f"(first row id: {violations[0]})"
+                )
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-table summary."""
+        lines = [f"Database: {len(self.tables)} tables, {len(self)} tuples"]
+        for name in sorted(self.tables):
+            lines.append(f"  {name:<24} {len(self.tables[name]):>8} rows")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database(tables={len(self.tables)}, tuples={len(self)})"

@@ -1,0 +1,246 @@
+"""In-memory execution of bound join-tree queries.
+
+Two operations matter to the paper's system:
+
+* :meth:`InMemoryEngine.is_alive` -- does the query return at least one
+  tuple?  This is the operation every lattice traversal issues ("execute the
+  SQL query and check if it is empty") and the one we count.  It runs a
+  Yannakakis-style bottom-up semi-join pass: because candidate networks are
+  trees, the join is nonempty iff the semi-join-reduced root is nonempty.
+
+* :meth:`InMemoryEngine.evaluate` -- enumerate (a bounded number of) result
+  tuples, used to display answer queries and MPAN witnesses.
+
+Keyword predicates are resolved to row-id sets through a pluggable
+``tuple_set_provider`` so the inverted index can serve them; without one the
+engine falls back to a table scan (what ``LIKE '%kw%'`` would do without an
+index).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.relational.database import Database
+from repro.relational.jointree import BoundQuery, JoinEdge, JoinTree, RelationInstance
+from repro.relational.predicates import KeywordPredicate, MatchMode, cell_matches
+from repro.relational.table import Table
+
+TupleSetProvider = Callable[[str, str, MatchMode], "set[int] | None"]
+ResultRow = dict[RelationInstance, dict[str, Any]]
+
+
+class InMemoryEngine:
+    """Evaluates :class:`BoundQuery` objects against a :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Database,
+        tuple_set_provider: TupleSetProvider | None = None,
+    ):
+        self.database = database
+        self._tuple_set_provider = tuple_set_provider
+        self._scan_cache: dict[tuple[str, str, MatchMode], frozenset[int]] = {}
+
+    # ------------------------------------------------------------ tuple sets
+    def tuple_set(
+        self, relation: str, keyword: str, mode: MatchMode
+    ) -> frozenset[int]:
+        """Row ids of ``relation`` whose text attributes match ``keyword``."""
+        key = (relation, keyword.lower(), mode)
+        cached = self._scan_cache.get(key)
+        if cached is not None:
+            return cached
+        ids: set[int] | None = None
+        if self._tuple_set_provider is not None:
+            ids = self._tuple_set_provider(relation, keyword, mode)
+        if ids is None:
+            table = self.database.table(relation)
+            ids = {
+                row_id
+                for row_id in range(len(table))
+                if any(
+                    cell_matches(keyword, text, mode)
+                    for _, text in table.text_cells(row_id)
+                )
+            }
+        result = frozenset(ids)
+        self._scan_cache[key] = result
+        return result
+
+    def _candidate_ids(
+        self, query: BoundQuery, instance: RelationInstance
+    ) -> frozenset[int] | None:
+        """Candidate row ids for one instance; ``None`` means "all rows"."""
+        keyword = query.keyword_of(instance)
+        if keyword is None:
+            return None
+        return self.tuple_set(instance.relation, keyword, query.mode)
+
+    # ------------------------------------------------------------- liveness
+    def is_alive(self, query: BoundQuery) -> bool:
+        """True iff the query returns at least one tuple.
+
+        Bottom-up semi-join pass over the join tree: for each node we compute
+        the set of *join values* it can offer to its parent, restricted to
+        rows that (a) satisfy the node's keyword predicate and (b) join with
+        every child's offered value set.  The query is alive iff the root
+        retains at least one viable row.
+        """
+        tree = query.tree
+        root = self._pick_root(query)
+        out_values: dict[RelationInstance, set[Any]] = {}
+        for node, parent_edge, _parent in tree.postorder(root):
+            viable = self._viable_rows(query, tree, node, root, out_values)
+            if parent_edge is None:
+                # Root: alive iff any viable row exists.
+                for _ in viable:
+                    return True
+                return False
+            column = parent_edge.column_of(node)
+            table = self.database.table(node.relation)
+            position = table.relation.index_of(column)
+            values = {table.row(row_id)[position] for row_id in viable}
+            values.discard(None)
+            if not values:
+                return False
+            out_values[node] = values
+        raise AssertionError("postorder always ends at the root")
+
+    def _viable_rows(
+        self,
+        query: BoundQuery,
+        tree: JoinTree,
+        node: RelationInstance,
+        root: RelationInstance,
+        out_values: dict[RelationInstance, set[Any]],
+    ) -> Iterable[int]:
+        """Row ids of ``node`` passing its predicate and all child semi-joins."""
+        table = self.database.table(node.relation)
+        children = [
+            (edge, edge.other(node))
+            for edge in tree.edges_of(node)
+            if edge.other(node) in out_values
+        ]
+        candidates = self._candidate_ids(query, node)
+
+        if candidates is None and children:
+            # Free node: drive the scan from the smallest child value set via
+            # the hash index instead of scanning the whole table.
+            edge, child = min(children, key=lambda pair: len(out_values[pair[1]]))
+            column = edge.column_of(node)
+            index = table.index_on(column)
+            candidates = frozenset(
+                row_id
+                for value in out_values[child]
+                for row_id in index.get(value, ())
+            )
+            children = [(e, c) for e, c in children if c is not child]
+        elif candidates is None:
+            candidates = frozenset(range(len(table)))
+
+        if not children:
+            return candidates
+
+        def passes(row_id: int) -> bool:
+            row = table.row(row_id)
+            for edge, child in children:
+                position = table.relation.index_of(edge.column_of(node))
+                if row[position] not in out_values[child]:
+                    return False
+            return True
+
+        return (row_id for row_id in candidates if passes(row_id))
+
+    def _pick_root(self, query: BoundQuery) -> RelationInstance:
+        """Root the tree at a bound instance when possible.
+
+        Starting from a keyword-bound (hence usually small) tuple set makes
+        the final root check cheap; ties break deterministically.
+        """
+        bound = sorted(instance for instance, _ in query.bindings)
+        if bound:
+            return bound[0]
+        return query.tree.sorted_instances()[0]
+
+    # ------------------------------------------------------------ evaluation
+    def count(self, query: BoundQuery, limit: int | None = None) -> int:
+        """Number of result tuples (optionally stopping at ``limit``)."""
+        total = 0
+        for _ in self.evaluate(query, limit=limit):
+            total += 1
+        return total
+
+    def evaluate(
+        self, query: BoundQuery, limit: int | None = 100
+    ) -> list[ResultRow]:
+        """Enumerate result tuples as ``{instance: {column: value}}`` dicts.
+
+        Backtracking join in tree order, using hash indexes for each edge.
+        ``limit=None`` enumerates everything -- use with care on large joins.
+        """
+        tree = query.tree
+        root = self._pick_root(query)
+        children = tree.rooted_children(root)
+        order: list[tuple[RelationInstance, JoinEdge | None, RelationInstance]] = []
+
+        def flatten(node: RelationInstance) -> None:
+            for edge, child in children[node]:
+                order.append((child, edge, node))
+                flatten(child)
+
+        flatten(root)
+
+        results: list[ResultRow] = []
+        assignment: dict[RelationInstance, int] = {}
+
+        root_candidates = self._candidate_ids(query, root)
+        if root_candidates is None:
+            root_candidates = frozenset(range(len(self.database.table(root.relation))))
+
+        def recurse(depth: int) -> bool:
+            """Returns True when the limit has been reached."""
+            if depth == len(order):
+                results.append(self._materialize(assignment))
+                return limit is not None and len(results) >= limit
+            node, edge, parent = order[depth]
+            table = self.database.table(node.relation)
+            parent_table = self.database.table(parent.relation)
+            parent_row = parent_table.row(assignment[parent])
+            join_value = parent_row[
+                parent_table.relation.index_of(edge.column_of(parent))
+            ]
+            node_candidates = self._candidate_ids(query, node)
+            for row_id in table.matching_ids(edge.column_of(node), join_value):
+                if node_candidates is not None and row_id not in node_candidates:
+                    continue
+                assignment[node] = row_id
+                if recurse(depth + 1):
+                    return True
+            assignment.pop(node, None)
+            return False
+
+        for root_row in sorted(root_candidates):
+            assignment[root] = root_row
+            if recurse(0):
+                break
+        return results
+
+    def _materialize(self, assignment: Mapping[RelationInstance, int]) -> ResultRow:
+        result: ResultRow = {}
+        for instance, row_id in assignment.items():
+            table = self.database.table(instance.relation)
+            result[instance] = dict(
+                zip(table.relation.attribute_names, table.row(row_id))
+            )
+        return result
+
+    # -------------------------------------------------------------- helpers
+    def predicate_for(self, query: BoundQuery, instance: RelationInstance) -> KeywordPredicate | None:
+        keyword = query.keyword_of(instance)
+        if keyword is None:
+            return None
+        return KeywordPredicate(keyword, query.mode)
+
+    def table_of(self, instance: RelationInstance) -> Table:
+        return self.database.table(instance.relation)

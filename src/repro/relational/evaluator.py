@@ -1,0 +1,129 @@
+"""Instrumented evaluation facade used by every traversal strategy.
+
+All of the paper's run-time metrics are defined here:
+
+* **number of SQL queries executed** (Figures 11, Table 4) -- each call that
+  reaches the backend counts as one; cache hits (the *reuse* in BUWR/TDWR) do
+  not re-execute and are counted separately;
+* **response time** (Figures 12, 14, 15) -- both measured wall time and a
+  deterministic *simulated* time from a pluggable cost model, so figure
+  shapes are reproducible across machines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.relational.jointree import BoundQuery
+
+
+class AlivenessBackend(Protocol):
+    """Anything that can answer "does this query return a tuple?"."""
+
+    def is_alive(self, query: BoundQuery) -> bool:  # pragma: no cover - protocol
+        ...
+
+
+class QueryCostModel(Protocol):
+    """Deterministic per-query cost estimate, in simulated seconds."""
+
+    def cost(self, query: BoundQuery) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class EvaluationStats:
+    """Counters accumulated by an :class:`InstrumentedEvaluator`."""
+
+    queries_executed: int = 0
+    cache_hits: int = 0
+    wall_time: float = 0.0
+    simulated_time: float = 0.0
+    executed_by_level: dict[int, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "EvaluationStats":
+        return EvaluationStats(
+            self.queries_executed,
+            self.cache_hits,
+            self.wall_time,
+            self.simulated_time,
+            dict(self.executed_by_level),
+        )
+
+    def diff(self, earlier: "EvaluationStats") -> "EvaluationStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        by_level = {
+            level: count - earlier.executed_by_level.get(level, 0)
+            for level, count in self.executed_by_level.items()
+        }
+        return EvaluationStats(
+            self.queries_executed - earlier.queries_executed,
+            self.cache_hits - earlier.cache_hits,
+            self.wall_time - earlier.wall_time,
+            self.simulated_time - earlier.simulated_time,
+            {level: count for level, count in by_level.items() if count},
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.queries_executed} queries "
+            f"({self.cache_hits} cache hits), "
+            f"{self.wall_time * 1000:.1f} ms wall, "
+            f"{self.simulated_time:.3f} s simulated"
+        )
+
+
+class InstrumentedEvaluator:
+    """Counts, times, and optionally caches aliveness probes.
+
+    ``use_cache=True`` is what the paper calls *reuse*: a query already
+    evaluated (by any MTN's traversal, in any interpretation) is answered
+    from the cache without touching the backend.  Non-reuse strategies (BU,
+    TD) construct their evaluator with ``use_cache=False`` so that shared
+    sub-queries are re-executed per MTN, exactly as the paper measures them.
+    """
+
+    def __init__(
+        self,
+        backend: AlivenessBackend,
+        cost_model: QueryCostModel | None = None,
+        use_cache: bool = True,
+    ):
+        self.backend = backend
+        self.cost_model = cost_model
+        self.use_cache = use_cache
+        self.stats = EvaluationStats()
+        self._cache: dict[BoundQuery, bool] = {}
+
+    def is_alive(self, query: BoundQuery) -> bool:
+        """Answer an aliveness probe, counting one executed query on a miss."""
+        if self.use_cache:
+            cached = self._cache.get(query)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+        started = time.perf_counter()
+        alive = self.backend.is_alive(query)
+        self.stats.wall_time += time.perf_counter() - started
+        self.stats.queries_executed += 1
+        level = query.tree.size
+        self.stats.executed_by_level[level] = (
+            self.stats.executed_by_level.get(level, 0) + 1
+        )
+        if self.cost_model is not None:
+            self.stats.simulated_time += self.cost_model.cost(query)
+        if self.use_cache:
+            self._cache[query] = alive
+        return alive
+
+    def reset_cache(self) -> None:
+        self._cache.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = EvaluationStats()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

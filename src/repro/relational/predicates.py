@@ -1,0 +1,100 @@
+"""Keyword predicates applied to the text attributes of a relation instance.
+
+The paper instantiates each lattice node's WHERE clause with predicates of the
+form ``R.a LIKE '%kw%'`` (substring match) while mapping keywords to tables
+through a Lucene index (token match).  Both semantics are supported here and
+selected by :class:`MatchMode`; the inverted index and the executors must be
+configured with the *same* mode so that "keyword k maps to relation R" and
+"the predicate on R matches at least one row" stay consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+class MatchMode(enum.Enum):
+    """How a keyword matches a text cell."""
+
+    TOKEN = "token"
+    """Whole-token match after lowercasing and splitting on non-alphanumerics.
+
+    Matches the behaviour of the inverted index and is the default.
+    """
+
+    SUBSTRING = "substring"
+    """Case-insensitive substring match -- the paper's ``LIKE '%kw%'``."""
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens of ``text``.
+
+    This is the single tokenizer shared by the inverted index, the predicates
+    and the dataset generators, so all components agree on what a keyword is.
+    """
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+@lru_cache(maxsize=4096)
+def _normalized(keyword: str) -> str:
+    return keyword.lower()
+
+
+def cell_matches(keyword: str, text: str, mode: MatchMode) -> bool:
+    """True if ``keyword`` matches one text cell under ``mode``."""
+    needle = _normalized(keyword)
+    if mode is MatchMode.SUBSTRING:
+        return needle in text.lower()
+    return needle in tokenize(text)
+
+
+@dataclass(frozen=True)
+class KeywordPredicate:
+    """``keyword`` must occur in at least one searchable attribute of a row.
+
+    This is the disjunction the paper writes as
+    ``R.a1 LIKE '%kw%' OR R.a2 LIKE '%kw%' OR ...`` over the text attributes
+    of ``R``.  The predicate is attached to a relation *instance* of a join
+    tree, not to the relation itself, because two instances of the same
+    relation can carry different keywords.
+    """
+
+    keyword: str
+    mode: MatchMode = MatchMode.TOKEN
+
+    def __post_init__(self) -> None:
+        if not self.keyword or not self.keyword.strip():
+            raise ValueError("keyword predicate requires a non-empty keyword")
+
+    def matches_row(self, cells: list[tuple[str, str]]) -> bool:
+        """Evaluate against ``(column, text)`` pairs of one row."""
+        return any(cell_matches(self.keyword, text, self.mode) for _, text in cells)
+
+    def sql_condition(self, alias: str, columns: tuple[str, ...]) -> str:
+        """Render the disjunction as a SQL condition for ``alias``.
+
+        Token mode renders to the same LIKE pattern wrapped with delimiters is
+        not expressible portably, so token mode is rendered via LIKE with the
+        keyword padded by word boundaries emulated in the sqlite backend by a
+        registered ``TOKEN_MATCH`` function; substring mode renders to plain
+        ``LIKE '%kw%'``.
+        """
+        if not columns:
+            return "0 = 1"
+        escaped = self.keyword.replace("'", "''")
+        if self.mode is MatchMode.SUBSTRING:
+            parts = [
+                f"LOWER({alias}.{column}) LIKE '%{escaped.lower()}%'"
+                for column in columns
+            ]
+        else:
+            parts = [
+                f"TOKEN_MATCH('{escaped.lower()}', {alias}.{column})"
+                for column in columns
+            ]
+        return "(" + " OR ".join(parts) + ")"

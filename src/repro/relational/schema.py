@@ -1,0 +1,357 @@
+"""Relations, attributes, and the key-foreign-key schema graph.
+
+The schema graph is the single offline input to lattice generation
+(Phase 0 of the paper): its vertices are relations and its edges are
+key-foreign-key associations.  Multiple edges may connect the same pair of
+relations (e.g. a relationship table with two foreign keys into ``Person``),
+so edges carry the join columns and are identified by name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class SchemaError(ValueError):
+    """Raised when a schema is internally inconsistent."""
+
+
+class AttributeType(enum.Enum):
+    """Column types supported by the substrate.
+
+    Only two behaviours matter for the paper's system: whether a column can
+    carry keywords (``TEXT``) and whether it can participate in joins (any
+    type; joins in practice use ``INTEGER`` keys).
+    """
+
+    INTEGER = "integer"
+    TEXT = "text"
+    REAL = "real"
+
+    @property
+    def sql_name(self) -> str:
+        """The SQLite/ANSI type name used when generating DDL."""
+        return {"integer": "INTEGER", "text": "TEXT", "real": "REAL"}[self.value]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation.
+
+    ``searchable`` marks text columns that the inverted index covers and that
+    keyword predicates apply to.  It defaults to ``True`` for TEXT columns.
+    """
+
+    name: str
+    type: AttributeType = AttributeType.TEXT
+    searchable: bool | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if self.searchable is None:
+            object.__setattr__(self, "searchable", self.type is AttributeType.TEXT)
+        if self.searchable and self.type is not AttributeType.TEXT:
+            raise SchemaError(f"non-text attribute {self.name!r} cannot be searchable")
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation (table) declaration: a name plus an ordered attribute list."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid relation name: {self.name!r}")
+        seen: set[str] = set()
+        for attribute in self.attributes:
+            if attribute.name in seen:
+                raise SchemaError(
+                    f"relation {self.name!r} declares attribute "
+                    f"{attribute.name!r} twice"
+                )
+            seen.add(attribute.name)
+
+    @staticmethod
+    def build(name: str, columns: Mapping[str, AttributeType | str]) -> "Relation":
+        """Convenience constructor from a ``{column: type}`` mapping.
+
+        String type values (``"integer"``, ``"text"``, ``"real"``) are
+        accepted as well as :class:`AttributeType` members.
+        """
+        attributes = []
+        for column, column_type in columns.items():
+            if isinstance(column_type, str):
+                column_type = AttributeType(column_type)
+            attributes.append(Attribute(column, column_type))
+        return Relation(name, tuple(attributes))
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attribute.name for attribute in self.attributes)
+
+    @property
+    def text_attributes(self) -> tuple[Attribute, ...]:
+        """Attributes that keyword predicates apply to."""
+        return tuple(a for a in self.attributes if a.searchable)
+
+    def attribute(self, name: str) -> Attribute:
+        for candidate in self.attributes:
+            if candidate.name == name:
+                return candidate
+        raise SchemaError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def index_of(self, name: str) -> int:
+        """Positional index of ``name`` within the attribute tuple."""
+        for position, candidate in enumerate(self.attributes):
+            if candidate.name == name:
+                return position
+        raise SchemaError(f"relation {self.name!r} has no attribute {name!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A directed key-foreign-key association ``child.column -> parent.column``.
+
+    The direction matters for referential integrity, but the schema *graph*
+    treats the edge as undirected: a join can be traversed either way while
+    growing a join tree.  ``name`` identifies the edge uniquely so that two
+    different associations between the same pair of relations (e.g.
+    ``Coauthor.person1 -> Person.id`` and ``Coauthor.person2 -> Person.id``)
+    stay distinguishable in canonical labels.
+    """
+
+    name: str
+    child: str
+    child_column: str
+    parent: str
+    parent_column: str
+
+    def endpoints(self) -> tuple[str, str]:
+        return (self.child, self.parent)
+
+    def other(self, relation: str) -> str:
+        """The relation at the other end of the edge from ``relation``."""
+        if relation == self.child:
+            return self.parent
+        if relation == self.parent:
+            return self.child
+        raise SchemaError(f"edge {self.name!r} does not touch relation {relation!r}")
+
+    def column_of(self, relation: str) -> str:
+        """The join column contributed by ``relation``."""
+        if relation == self.child:
+            return self.child_column
+        if relation == self.parent:
+            return self.parent_column
+        raise SchemaError(f"edge {self.name!r} does not touch relation {relation!r}")
+
+    def touches(self, relation: str) -> bool:
+        return relation in (self.child, self.parent)
+
+
+@dataclass
+class SchemaGraph:
+    """The database schema as a graph of relations joined by foreign keys.
+
+    This object is immutable in spirit: build it once with :meth:`add_relation`
+    and :meth:`add_foreign_key` (or :meth:`build`), then :meth:`freeze` it
+    before handing it to lattice generation.  ``freeze`` validates referential
+    consistency and assigns the stable integer ids used by canonical labeling.
+    """
+
+    relations: dict[str, Relation] = field(default_factory=dict)
+    foreign_keys: dict[str, ForeignKey] = field(default_factory=dict)
+    _frozen: bool = field(default=False, repr=False)
+    _relation_ids: dict[str, int] = field(default_factory=dict, repr=False)
+    _edge_ids: dict[str, int] = field(default_factory=dict, repr=False)
+    _adjacency: dict[str, tuple[ForeignKey, ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    # ---------------------------------------------------------------- build
+    def add_relation(self, relation: Relation) -> None:
+        self._ensure_mutable()
+        if relation.name in self.relations:
+            raise SchemaError(f"duplicate relation {relation.name!r}")
+        self.relations[relation.name] = relation
+
+    def add_foreign_key(self, foreign_key: ForeignKey) -> None:
+        self._ensure_mutable()
+        if foreign_key.name in self.foreign_keys:
+            raise SchemaError(f"duplicate foreign key {foreign_key.name!r}")
+        self.foreign_keys[foreign_key.name] = foreign_key
+
+    @staticmethod
+    def build(
+        relations: Iterable[Relation], foreign_keys: Iterable[ForeignKey]
+    ) -> "SchemaGraph":
+        """Construct and freeze a schema graph in one call."""
+        graph = SchemaGraph()
+        for relation in relations:
+            graph.add_relation(relation)
+        for foreign_key in foreign_keys:
+            graph.add_foreign_key(foreign_key)
+        graph.freeze()
+        return graph
+
+    def freeze(self) -> "SchemaGraph":
+        """Validate the schema and make it usable by the rest of the system."""
+        if self._frozen:
+            return self
+        for foreign_key in self.foreign_keys.values():
+            self._validate_edge(foreign_key)
+        # Stable ids: relations sorted by name, then edges sorted by name.
+        # Canonical labels (Algorithm 2) depend on these ids, so the ordering
+        # must be deterministic across runs.
+        for index, name in enumerate(sorted(self.relations)):
+            self._relation_ids[name] = index
+        for index, name in enumerate(sorted(self.foreign_keys)):
+            self._edge_ids[name] = index
+        adjacency: dict[str, list[ForeignKey]] = {name: [] for name in self.relations}
+        for foreign_key in self.foreign_keys.values():
+            adjacency[foreign_key.child].append(foreign_key)
+            if foreign_key.parent != foreign_key.child:
+                adjacency[foreign_key.parent].append(foreign_key)
+        self._adjacency = {
+            name: tuple(sorted(edges, key=lambda e: e.name))
+            for name, edges in adjacency.items()
+        }
+        self._frozen = True
+        return self
+
+    # ---------------------------------------------------------------- query
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def foreign_key(self, name: str) -> ForeignKey:
+        try:
+            return self.foreign_keys[name]
+        except KeyError:
+            raise SchemaError(f"unknown foreign key {name!r}") from None
+
+    def edges_of(self, relation: str) -> tuple[ForeignKey, ...]:
+        """All schema edges incident to ``relation`` (deterministic order)."""
+        self._ensure_frozen()
+        if relation not in self._adjacency:
+            raise SchemaError(f"unknown relation {relation!r}")
+        return self._adjacency[relation]
+
+    def relation_id(self, name: str) -> int:
+        """Stable integer id of a relation, used in canonical labels."""
+        self._ensure_frozen()
+        return self._relation_ids[name]
+
+    def edge_id(self, name: str) -> int:
+        """Stable integer id of a schema edge, used in canonical labels."""
+        self._ensure_frozen()
+        return self._edge_ids[name]
+
+    def searchable_relations(self) -> tuple[str, ...]:
+        """Names of relations with at least one searchable text attribute."""
+        return tuple(
+            name
+            for name in sorted(self.relations)
+            if self.relations[name].text_attributes
+        )
+
+    def iter_relations(self) -> Iterator[Relation]:
+        for name in sorted(self.relations):
+            yield self.relations[name]
+
+    def connected(self) -> bool:
+        """True if every relation is reachable from every other via FK edges."""
+        self._ensure_frozen()
+        if not self.relations:
+            return True
+        start = next(iter(sorted(self.relations)))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for edge in self.edges_of(current):
+                for neighbour in edge.endpoints():
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        frontier.append(neighbour)
+        return len(seen) == len(self.relations)
+
+    # ------------------------------------------------------------- internal
+    def _validate_edge(self, foreign_key: ForeignKey) -> None:
+        for relation_name, column in (
+            (foreign_key.child, foreign_key.child_column),
+            (foreign_key.parent, foreign_key.parent_column),
+        ):
+            relation = self.relation(relation_name)
+            attribute = relation.attribute(column)
+            if attribute.type is AttributeType.TEXT and attribute.searchable:
+                raise SchemaError(
+                    f"foreign key {foreign_key.name!r} joins on searchable text "
+                    f"column {relation_name}.{column}; use a key column"
+                )
+
+    def _ensure_mutable(self) -> None:
+        if self._frozen:
+            raise SchemaError("schema graph is frozen")
+
+    def _ensure_frozen(self) -> None:
+        if not self._frozen:
+            raise SchemaError("schema graph must be frozen first; call freeze()")
+
+
+def star_schema(
+    center: Relation,
+    points: Sequence[Relation],
+    link_tables: Sequence[tuple[str, str, str]],
+) -> SchemaGraph:
+    """Helper for building star-shaped schemas in tests.
+
+    ``link_tables`` is a sequence of ``(link_name, left_relation,
+    right_relation)`` triples; each produces a two-column link relation with
+    foreign keys into both endpoints' ``id`` columns.
+    """
+    relations = [center, *points]
+    foreign_keys: list[ForeignKey] = []
+    for link_name, left, right in link_tables:
+        link = Relation(
+            link_name,
+            (
+                Attribute("id", AttributeType.INTEGER),
+                Attribute(f"{left.lower()}_id", AttributeType.INTEGER),
+                Attribute(f"{right.lower()}_id", AttributeType.INTEGER),
+            ),
+        )
+        relations.append(link)
+        foreign_keys.append(
+            ForeignKey(
+                f"{link_name}_{left.lower()}",
+                link_name,
+                f"{left.lower()}_id",
+                left,
+                "id",
+            )
+        )
+        foreign_keys.append(
+            ForeignKey(
+                f"{link_name}_{right.lower()}",
+                link_name,
+                f"{right.lower()}_id",
+                right,
+                "id",
+            )
+        )
+    return SchemaGraph.build(relations, foreign_keys)

@@ -1,0 +1,100 @@
+"""SQL text generation for join trees and bound queries.
+
+Each lattice node carries an *uninstantiated* SQL template (join conditions
+only); binding keywords at run time instantiates the WHERE clause.  The
+generated SQL is real SQL: :mod:`repro.relational.sqlite_backend` executes it
+verbatim against a stdlib ``sqlite3`` database to cross-check the in-memory
+engine.
+"""
+
+from __future__ import annotations
+
+from repro.relational.jointree import BoundQuery, JoinTree
+from repro.relational.predicates import KeywordPredicate
+from repro.relational.schema import SchemaGraph
+
+KEYWORD_PLACEHOLDER = "?kw"
+
+
+def _from_clause(tree: JoinTree) -> str:
+    parts = [
+        f"{instance.relation} AS {instance.alias}"
+        for instance in tree.sorted_instances()
+    ]
+    return ", ".join(parts)
+
+
+def _join_conditions(tree: JoinTree) -> list[str]:
+    conditions = []
+    for edge in sorted(tree.edges, key=lambda e: (e.a, e.a_column, e.b, e.b_column)):
+        conditions.append(
+            f"{edge.a.alias}.{edge.a_column} = {edge.b.alias}.{edge.b_column}"
+        )
+    return conditions
+
+
+def render_template(tree: JoinTree, schema: SchemaGraph) -> str:
+    """The offline (Phase 0) SQL template of a lattice node.
+
+    Keyword predicates are represented by a ``?kw`` placeholder per non-free
+    instance; Phase 1 replaces them with concrete predicates.
+    """
+    conditions = _join_conditions(tree)
+    for instance in tree.sorted_instances():
+        if instance.is_free:
+            continue
+        relation = schema.relation(instance.relation)
+        columns = tuple(a.name for a in relation.text_attributes)
+        if not columns:
+            continue
+        likes = " OR ".join(
+            f"LOWER({instance.alias}.{column}) LIKE '%{KEYWORD_PLACEHOLDER}%'"
+            for column in columns
+        )
+        conditions.append(f"({likes})")
+    where = " AND ".join(conditions) if conditions else "1 = 1"
+    return f"SELECT * FROM {_from_clause(tree)} WHERE {where}"
+
+
+def render_sql(
+    query: BoundQuery,
+    schema: SchemaGraph,
+    select: str = "*",
+    limit: int | None = None,
+) -> str:
+    """Executable SQL for a bound query.
+
+    ``select`` and ``limit`` let callers render the existence-check form the
+    traversals actually issue (``SELECT 1 ... LIMIT 1``).
+    """
+    conditions = _join_conditions(query.tree)
+    for instance in query.tree.sorted_instances():
+        keyword = query.keyword_of(instance)
+        if keyword is None:
+            continue
+        relation = schema.relation(instance.relation)
+        columns = tuple(a.name for a in relation.text_attributes)
+        predicate = KeywordPredicate(keyword, query.mode)
+        conditions.append(predicate.sql_condition(instance.alias, columns))
+    where = " AND ".join(conditions) if conditions else "1 = 1"
+    sql = f"SELECT {select} FROM {_from_clause(query.tree)} WHERE {where}"
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+    return sql
+
+
+def render_existence_check(query: BoundQuery, schema: SchemaGraph) -> str:
+    """The aliveness probe: ``SELECT 1 ... LIMIT 1``."""
+    return render_sql(query, schema, select="1", limit=1)
+
+
+def render_ddl(schema: SchemaGraph) -> list[str]:
+    """CREATE TABLE statements for the schema (used by the sqlite backend)."""
+    statements = []
+    for relation in schema.iter_relations():
+        columns = ", ".join(
+            f"{attribute.name} {attribute.type.sql_name}"
+            for attribute in relation.attributes
+        )
+        statements.append(f"CREATE TABLE {relation.name} ({columns})")
+    return statements

@@ -1,0 +1,74 @@
+"""Execute generated SQL on a stdlib ``sqlite3`` database.
+
+This backend exists to demonstrate that the system's queries are ordinary
+SQL (the paper ran them on PostgreSQL via JDBC) and to cross-check the
+in-memory engine: property tests assert both agree on aliveness for random
+trees and databases.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any
+
+from repro.relational.database import Database
+from repro.relational.jointree import BoundQuery
+from repro.relational.predicates import MatchMode, cell_matches
+from repro.relational.sql import render_ddl, render_existence_check, render_sql
+
+
+def _token_match(keyword: str, text: Any) -> int:
+    """SQL function backing token-mode predicates (`TOKEN_MATCH(kw, col)`)."""
+    if text is None or not isinstance(text, str):
+        return 0
+    return 1 if cell_matches(keyword, text, MatchMode.TOKEN) else 0
+
+
+class SqliteEngine:
+    """Mirror of a :class:`Database` inside an in-process sqlite3 instance."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.schema = database.schema
+        self.connection = sqlite3.connect(":memory:")
+        self.connection.create_function("TOKEN_MATCH", 2, _token_match)
+        self._load()
+
+    def _load(self) -> None:
+        cursor = self.connection.cursor()
+        for statement in render_ddl(self.schema):
+            cursor.execute(statement)
+        for table in self.database.iter_tables():
+            if not len(table):
+                continue
+            placeholders = ", ".join("?" for _ in table.relation.attributes)
+            cursor.executemany(
+                f"INSERT INTO {table.relation.name} VALUES ({placeholders})",
+                list(table),
+            )
+        self.connection.commit()
+
+    # ------------------------------------------------------------ interface
+    def is_alive(self, query: BoundQuery) -> bool:
+        """Run the existence-check SQL and report whether a row came back."""
+        sql = render_existence_check(query, self.schema)
+        cursor = self.connection.execute(sql)
+        return cursor.fetchone() is not None
+
+    def count(self, query: BoundQuery, limit: int | None = None) -> int:
+        inner = render_sql(query, self.schema, select="1", limit=limit)
+        cursor = self.connection.execute(f"SELECT COUNT(*) FROM ({inner})")
+        return int(cursor.fetchone()[0])
+
+    def fetch(self, query: BoundQuery, limit: int | None = 100) -> list[tuple]:
+        sql = render_sql(query, self.schema, limit=limit)
+        return list(self.connection.execute(sql))
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,6 @@
+"""Workloads: the paper's ten keyword queries and a random generator."""
+
+from repro.workloads.queries import TABLE2_QUERIES, WorkloadQuery, table2_workload
+from repro.workloads.generator import RandomWorkload
+
+__all__ = ["TABLE2_QUERIES", "WorkloadQuery", "table2_workload", "RandomWorkload"]

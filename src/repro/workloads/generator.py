@@ -1,0 +1,48 @@
+"""Random keyword workloads drawn from a database's own vocabulary.
+
+Used by property-style integration tests and the scaling benches: sampling
+keywords that actually occur in the data guarantees complete mappings, while
+mixing in out-of-vocabulary tokens exercises the "and"-semantics abort path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.index.inverted import InvertedIndex
+
+
+class RandomWorkload:
+    """Draws random keyword queries from an inverted index's vocabulary."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        seed: int = 7,
+        min_keywords: int = 2,
+        max_keywords: int = 3,
+        missing_probability: float = 0.0,
+    ):
+        if min_keywords < 1 or max_keywords < min_keywords:
+            raise ValueError("need 1 <= min_keywords <= max_keywords")
+        self.index = index
+        self.rng = random.Random(seed)
+        self.min_keywords = min_keywords
+        self.max_keywords = max_keywords
+        self.missing_probability = missing_probability
+        self._vocabulary = sorted(index.tokens())
+        if not self._vocabulary:
+            raise ValueError("index has an empty vocabulary")
+
+    def next_query(self) -> str:
+        """One random keyword query (space-separated tokens)."""
+        count = self.rng.randint(self.min_keywords, self.max_keywords)
+        keywords = self.rng.sample(
+            self._vocabulary, min(count, len(self._vocabulary))
+        )
+        if self.missing_probability and self.rng.random() < self.missing_probability:
+            keywords[self.rng.randrange(len(keywords))] = "zzzmissingzzz"
+        return " ".join(keywords)
+
+    def batch(self, size: int) -> list[str]:
+        return [self.next_query() for _ in range(size)]

@@ -1,0 +1,43 @@
+"""Shared fixtures: the Figure-2 toy database and small DBLife snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.debugger import NonAnswerDebugger
+from repro.datasets.dblife import DBLifeConfig, dblife_database
+from repro.datasets.products import product_database, product_schema
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="session")
+def products_db():
+    return product_database()
+
+
+@pytest.fixture(scope="session")
+def products_schema():
+    return product_schema()
+
+
+@pytest.fixture(scope="session")
+def products_index(products_db):
+    return InvertedIndex(products_db)
+
+
+@pytest.fixture(scope="session")
+def products_debugger(products_db):
+    """Shared read-only debugger over the toy database (max 2 joins)."""
+    return NonAnswerDebugger(products_db, max_joins=2)
+
+
+@pytest.fixture(scope="session")
+def dblife_db():
+    """A small deterministic DBLife snapshot for integration tests."""
+    return dblife_database(DBLifeConfig(seed=42, scale=1))
+
+
+@pytest.fixture(scope="session")
+def dblife_debugger(dblife_db):
+    """Level-3 debugger over the DBLife snapshot (direct mode for speed)."""
+    return NonAnswerDebugger(dblife_db, max_joins=2, use_lattice=False)

@@ -1,0 +1,152 @@
+"""Unit tests for Phase 1: keyword binding and lattice pruning."""
+
+import pytest
+
+from repro.core.binding import BindingError, KeywordBinder, bind_tree
+from repro.index.mapper import Interpretation
+from repro.relational.jointree import RelationInstance
+
+
+def interp(*pairs):
+    return Interpretation(tuple(pairs))
+
+
+@pytest.fixture(scope="module")
+def binder(products_debugger):
+    return products_debugger.binder
+
+
+RED_CANDLE = interp(("red", "Color"), ("candle", "ProductType"))
+
+
+class TestBind:
+    def test_keyword_positions_become_slots(self, binder):
+        binding = binder.bind(RED_CANDLE)
+        assert binding.by_keyword == (
+            ("red", RelationInstance("Color", 1)),
+            ("candle", RelationInstance("ProductType", 2)),
+        )
+
+    def test_same_relation_keywords_get_distinct_slots(self, binder):
+        binding = binder.bind(interp(("saffron", "Item"), ("scented", "Item")))
+        assert binding.instances == {
+            RelationInstance("Item", 1),
+            RelationInstance("Item", 2),
+        }
+
+    def test_unknown_relation_rejected(self, binder):
+        with pytest.raises(BindingError):
+            binder.bind(interp(("x", "Nope")))
+
+    def test_too_many_keywords_rejected(self, products_db):
+        from repro.core.lattice import generate_lattice
+
+        lattice = generate_lattice(products_db.schema, 1, max_keywords=1)
+        binder = KeywordBinder(lattice)
+        with pytest.raises(BindingError):
+            binder.bind(interp(("a", "Item"), ("b", "Color")))
+
+    def test_describe(self, binder):
+        assert "red->Color[1]" in binder.bind(RED_CANDLE).describe()
+
+
+class TestPrune:
+    def test_retained_instances_are_allowed(self, binder):
+        pruned = binder.prune(RED_CANDLE)
+        allowed = set(pruned.binding.instances) | {
+            RelationInstance(name, 0) for name in binder.schema.relations
+        }
+        for tree in pruned.retained:
+            assert set(tree.instances) <= allowed
+
+    def test_retained_exactly_matches_definition(self, binder):
+        """The walk retains exactly the lattice nodes over the alphabet."""
+        pruned = binder.prune(RED_CANDLE)
+        allowed = set(pruned.binding.instances) | {
+            RelationInstance(name, 0) for name in binder.schema.relations
+        }
+        expected = {
+            node.tree
+            for node in binder.lattice.iter_nodes()
+            if set(node.tree.instances) <= allowed
+        }
+        assert set(pruned.retained) == expected
+
+    def test_substantial_pruning(self, binder):
+        pruned = binder.prune(RED_CANDLE)
+        assert pruned.pruned_fraction > 0.5
+        assert pruned.retained_count > 0
+        assert pruned.pruning_time >= 0
+
+    def test_is_total(self, binder):
+        pruned = binder.prune(RED_CANDLE)
+        total = [tree for tree in pruned.retained if pruned.is_total(tree)]
+        assert total
+        for tree in total:
+            assert pruned.binding.instances <= tree.instances
+
+    def test_instantiate_attaches_keywords(self, binder):
+        pruned = binder.prune(RED_CANDLE)
+        tree = next(tree for tree in pruned.retained if pruned.is_total(tree))
+        query = pruned.instantiate(tree)
+        assert query.keywords == {"red", "candle"}
+        assert pruned.instantiate(tree) is query  # cached
+
+    def test_instantiate_pruned_tree_rejected(self, binder):
+        from repro.relational.jointree import JoinTree
+
+        pruned = binder.prune(RED_CANDLE)
+        foreign = JoinTree.single(RelationInstance("Item", 3))
+        with pytest.raises(BindingError):
+            pruned.instantiate(foreign)
+
+
+class TestDirectGeneration:
+    def test_direct_equals_lattice_walk(self, binder, products_db):
+        """prune() and prune_direct() retain identical tree sets."""
+        direct_binder = KeywordBinder(
+            schema=products_db.schema, max_joins=binder.max_joins,
+            max_keywords=binder.max_keywords,
+        )
+        for interpretation in (
+            RED_CANDLE,
+            interp(("saffron", "Color"), ("scented", "Item"), ("candle", "ProductType")),
+            interp(("saffron", "Item"), ("scented", "Item")),
+        ):
+            walked = set(binder.prune(interpretation).retained)
+            generated = set(direct_binder.prune_direct(interpretation).retained)
+            assert walked == generated
+
+    def test_mtn_targeted_is_subset_with_same_mtns(self, binder, products_db):
+        from repro.core.mtn import find_mtns
+
+        direct_binder = KeywordBinder(
+            schema=products_db.schema, max_joins=binder.max_joins,
+            max_keywords=binder.max_keywords,
+        )
+        for interpretation in (
+            RED_CANDLE,
+            interp(("saffron", "Color"), ("scented", "Item"), ("candle", "ProductType")),
+        ):
+            complete = direct_binder.prune_direct(interpretation)
+            targeted = direct_binder.prune_for_mtns(interpretation)
+            assert not targeted.complete
+            assert set(targeted.retained) <= set(complete.retained)
+            assert find_mtns(targeted) == find_mtns(complete)
+
+    def test_binder_requires_lattice_or_schema(self):
+        with pytest.raises(BindingError):
+            KeywordBinder()
+
+
+class TestBindTree:
+    def test_bind_tree_skips_missing_instances(self, binder):
+        binding = binder.bind(RED_CANDLE)
+        pruned = binder.prune(RED_CANDLE)
+        partial = next(
+            tree for tree in pruned.retained
+            if not pruned.is_total(tree)
+            and any(not i.is_free for i in tree.instances)
+        )
+        query = bind_tree(partial, binding)
+        assert 0 < len(query.bindings) < len(binding.by_keyword) + 1

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_debug_defaults(self):
+        args = build_parser().parse_args(["debug", "red candle"])
+        assert args.dataset == "products"
+        assert args.strategy == "sbh"
+        assert args.level == 3
+
+    def test_bench_choices(self):
+        args = build_parser().parse_args(["bench", "fig11"])
+        assert args.experiment == "fig11"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+
+class TestCommands:
+    def test_debug_products(self, capsys):
+        assert main(["debug", "saffron scented candle"]) == 0
+        out = capsys.readouterr().out
+        assert "non-answer queries" in out
+        assert "maximal alive sub-query" in out
+
+    def test_debug_with_strategy_and_direct(self, capsys):
+        assert main(["debug", "red candle", "--strategy", "tdwr", "--direct"]) == 0
+        assert "answer queries" in capsys.readouterr().out
+
+    def test_search_answers(self, capsys):
+        assert main(["search", "scented candle"]) == 0
+        assert "Classic KWS-S" in capsys.readouterr().out
+
+    def test_search_non_answer(self, capsys):
+        assert main(["search", "pink scented"]) == 0
+        assert "No results found!" in capsys.readouterr().out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "--dataset", "products"]) == 0
+        out = capsys.readouterr().out
+        assert "4 tables" in out
+        assert "inverted index" in out
+
+    def test_bench_small(self, capsys):
+        assert main(["bench", "fig9a", "--scale", "1", "--level", "3"]) == 0
+        assert "Figure 9(a)" in capsys.readouterr().out
+
+    def test_debug_dblife(self, capsys):
+        assert (
+            main(["debug", "Gray SIGMOD", "--dataset", "dblife", "--direct"]) == 0
+        )
+        assert "answer queries" in capsys.readouterr().out
+
+    def test_debug_diagnose_and_rank(self, capsys):
+        assert main(
+            ["debug", "saffron scented candle", "--diagnose", "--rank"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "breaks at:" in out
+        assert "Prioritized explanations" in out
+
+    def test_debug_save_report(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        assert main(["debug", "red candle", "--save-report", str(path)]) == 0
+        assert path.exists()
+        assert "report saved" in capsys.readouterr().out
+
+    def test_debug_free_copies(self, capsys):
+        assert main(
+            ["debug", "saffron scented candle", "--direct", "--free-copies", "2"]
+        ) == 0
+        assert "answer queries" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Tests for user-defined constraint pushdown (§5 future work)."""
+
+import pytest
+
+from repro.core.constraints import ConstraintError, SearchConstraints
+from repro.core.status import Status
+
+
+QUERY = "saffron scented candle"
+
+
+class TestMtnConstraints:
+    def test_exclude_relations_drops_interpretations(self, products_debugger):
+        constraints = SearchConstraints(exclude_relations=frozenset({"Color"}))
+        report = products_debugger.debug(QUERY, constraints=constraints)
+        baseline = products_debugger.debug(QUERY)
+        assert report.mtn_count < baseline.mtn_count
+        for node in report.graph.nodes:
+            assert "Color" not in node.tree.relations()
+
+    def test_mtn_predicate(self, products_debugger):
+        constraints = SearchConstraints(
+            mtn_predicate=lambda tree: "Attribute" in tree.relations()
+        )
+        report = products_debugger.debug(QUERY, constraints=constraints)
+        assert report.mtn_count > 0
+        for mtn in report.graph.mtns():
+            assert "Attribute" in mtn.tree.relations()
+
+    def test_constrained_results_subset_of_unconstrained(self, products_debugger):
+        constraints = SearchConstraints(exclude_relations=frozenset({"Color"}))
+        constrained = products_debugger.debug(QUERY, constraints=constraints)
+        baseline = products_debugger.debug(QUERY)
+        constrained_explanations = {
+            q.describe(): sorted(m.describe() for m in mpans)
+            for q, mpans in constrained.explanations()
+        }
+        baseline_explanations = {
+            q.describe(): sorted(m.describe() for m in mpans)
+            for q, mpans in baseline.explanations()
+        }
+        for described, mpans in constrained_explanations.items():
+            assert baseline_explanations[described] == mpans
+
+    def test_constraints_reduce_sql(self, products_debugger):
+        constraints = SearchConstraints(exclude_relations=frozenset({"Color"}))
+        constrained = products_debugger.debug(QUERY, constraints=constraints)
+        baseline = products_debugger.debug(QUERY)
+        assert (
+            constrained.traversal.stats.queries_executed
+            <= baseline.traversal.stats.queries_executed
+        )
+
+
+class TestExplanationLevelCap:
+    def test_mtns_kept_explanations_capped(self, products_debugger):
+        constraints = SearchConstraints(max_explanation_level=1)
+        report = products_debugger.debug(QUERY, constraints=constraints)
+        baseline = products_debugger.debug(QUERY)
+        # Same candidate networks, classified identically...
+        assert report.mtn_count == baseline.mtn_count
+        assert len(report.non_answers()) == len(baseline.non_answers())
+        # ...but every explanation is now a single-table sub-query.
+        for _, mpans in report.explanations():
+            for mpan in mpans:
+                assert mpan.tree.size == 1
+
+    def test_capped_masks_stay_sound(self, products_debugger):
+        """With the level cap, alive/dead inference must stay consistent."""
+        constraints = SearchConstraints(max_explanation_level=1)
+        report = products_debugger.debug(QUERY, constraints=constraints)
+        graph = report.graph
+        # MTN descendant masks bridge directly to level-1 nodes.
+        for mtn_index in graph.mtn_indexes:
+            if graph.node(mtn_index).level > 1:
+                members = graph.bits(graph.desc_mask[mtn_index])
+                assert members
+                for member in members:
+                    assert graph.node(member).level <= 1
+                    assert (graph.asc_mask[member] >> mtn_index) & 1
+
+
+class TestCustomPredicates:
+    def test_subtree_closed_predicate_accepted(self, products_debugger):
+        constraints = SearchConstraints(
+            tree_predicate=lambda tree: "Item" not in tree.relations()
+            or tree.size <= 3
+        )
+        # "Item-free or small" is subtree-closed on this schema's trees.
+        report = products_debugger.debug(QUERY, constraints=constraints)
+        assert report.traversal is not None
+
+    def test_non_closed_predicate_rejected(self, products_debugger):
+        constraints = SearchConstraints(
+            tree_predicate=lambda tree: tree.size != 1  # drops all singles
+        )
+        with pytest.raises(ConstraintError, match="not subtree-closed"):
+            products_debugger.debug(QUERY, constraints=constraints)
+
+    def test_everything_excluded_gives_empty_report(self, products_debugger):
+        constraints = SearchConstraints(mtn_predicate=lambda tree: False)
+        report = products_debugger.debug(QUERY, constraints=constraints)
+        assert report.mtn_count == 0
+        assert report.answers() == [] and report.non_answers() == []
+
+
+class TestSessionWithConstraints:
+    def test_session_respects_constraints(self, products_debugger):
+        from repro.core.session import DebugSession
+
+        constraints = SearchConstraints(exclude_relations=frozenset({"Color"}))
+        session = DebugSession(products_debugger, QUERY, constraints)
+        for view in session.overview():
+            assert "Color" not in view.query.tree.relations()
+        # Classifying everything still works under constraints.
+        for view in session.overview():
+            assert session.classify(view.position) in (Status.ALIVE, Status.DEAD)

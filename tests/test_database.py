@@ -1,0 +1,114 @@
+"""Unit tests for the database container and integrity checking."""
+
+import pytest
+
+from repro.relational.database import Database, IntegrityError
+from repro.relational.schema import (
+    Attribute,
+    AttributeType,
+    ForeignKey,
+    Relation,
+    SchemaError,
+    SchemaGraph,
+)
+
+INT = AttributeType.INTEGER
+TEXT = AttributeType.TEXT
+
+
+@pytest.fixture
+def schema():
+    relations = [
+        Relation("R", (Attribute("id", INT), Attribute("name", TEXT))),
+        Relation("S", (Attribute("id", INT), Attribute("r_id", INT))),
+    ]
+    return SchemaGraph.build(relations, [ForeignKey("s_r", "S", "r_id", "R", "id")])
+
+
+class TestDatabase:
+    def test_requires_frozen_schema(self):
+        graph = SchemaGraph()
+        graph.add_relation(Relation("R", (Attribute("id", INT),)))
+        with pytest.raises(SchemaError):
+            Database(graph)
+
+    def test_load_and_len(self, schema):
+        db = Database(schema)
+        db.load({"R": [(1, "a"), (2, "b")], "S": [(1, 1)]})
+        assert len(db) == 3
+        assert len(db.table("R")) == 2
+
+    def test_insert_dict(self, schema):
+        db = Database(schema)
+        db.insert_dict("R", {"id": 1, "name": "a"})
+        assert db.table("R").row(0) == (1, "a")
+
+    def test_unknown_table(self, schema):
+        with pytest.raises(SchemaError):
+            Database(schema).table("nope")
+
+    def test_validate_passes(self, schema):
+        db = Database(schema)
+        db.load({"R": [(1, "a")], "S": [(1, 1), (2, None)]})
+        db.validate()
+
+    def test_validate_reports_violation(self, schema):
+        db = Database(schema)
+        db.load({"R": [(1, "a")], "S": [(1, 99)]})
+        with pytest.raises(IntegrityError, match="s_r"):
+            db.validate()
+
+    def test_cardinalities_and_summary(self, schema):
+        db = Database(schema)
+        db.load({"R": [(1, "a")]})
+        assert db.cardinalities() == {"R": 1, "S": 0}
+        assert "R" in db.summary()
+
+    def test_iter_tables_sorted(self, schema):
+        db = Database(schema)
+        names = [table.relation.name for table in db.iter_tables()]
+        assert names == ["R", "S"]
+
+
+class TestProductsDatabase:
+    def test_figure2_contents(self, products_db):
+        assert len(products_db) == 15
+        assert len(products_db.table("Item")) == 4
+        assert products_db.table("Color").value(3, "name") == "saffron"
+
+    def test_figure2_null_color(self, products_db):
+        # Item 1 ("saffron scented oil") has color NA in Figure 2.
+        assert products_db.table("Item").value(0, "color") is None
+
+    def test_integrity(self, products_db):
+        products_db.validate()
+
+
+class TestDBLifeDatabase:
+    def test_fourteen_tables(self, dblife_db):
+        assert len(dblife_db.tables) == 14
+
+    def test_entity_tables_have_text(self, dblife_db):
+        for name in ("Person", "Publication", "Conference", "Organization", "Topic"):
+            assert dblife_db.schema.relation(name).text_attributes
+
+    def test_relationship_tables_have_no_text(self, dblife_db):
+        for name in ("Writes", "Coauthor", "Affiliation", "ServesOn", "GaveTalk",
+                     "GaveTutorial", "WorksOn", "PublishedIn", "About"):
+            assert not dblife_db.schema.relation(name).text_attributes
+
+    def test_deterministic(self, dblife_db):
+        from repro.datasets.dblife import DBLifeConfig, dblife_database
+
+        other = dblife_database(DBLifeConfig(seed=42, scale=1))
+        assert other.cardinalities() == dblife_db.cardinalities()
+        assert list(other.table("Person")) == list(dblife_db.table("Person"))
+
+    def test_scale_grows_data(self, dblife_db):
+        from repro.datasets.dblife import DBLifeConfig, dblife_database
+
+        bigger = dblife_database(DBLifeConfig(seed=42, scale=2))
+        assert len(bigger) > len(dblife_db)
+
+    def test_integrity(self, dblife_db):
+        dblife_db.validate()

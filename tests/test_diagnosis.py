@@ -1,0 +1,145 @@
+"""Tests for non-answer diagnosis (minimal dead sub-queries + suggestions)."""
+
+import pytest
+
+from repro.core.diagnosis import (
+    Cause,
+    diagnose,
+    minimal_dead_nodes,
+    render_diagnoses,
+)
+from repro.core.traversal import STRATEGY_NAMES
+
+QUERY = "saffron scented candle"
+
+
+@pytest.fixture(scope="module")
+def report(products_debugger):
+    return products_debugger.debug(QUERY)
+
+
+@pytest.fixture(scope="module")
+def diagnoses(report):
+    return diagnose(report)
+
+
+def by_relations(diagnoses, relations):
+    for diagnosis in diagnoses:
+        bound = sorted(i.relation for i, _ in diagnosis.non_answer.bindings)
+        if bound == sorted(relations):
+            yield diagnosis
+
+
+class TestMinimalDead:
+    def test_minimal_dead_have_alive_subqueries(self, report, products_debugger):
+        engine = products_debugger.backend
+        result = report.traversal
+        for mtn_index in result.dead_mtns:
+            for index in minimal_dead_nodes(result, mtn_index):
+                node = report.graph.node(index)
+                assert not engine.is_alive(node.query)
+                for child_tree in node.tree.child_subtrees():
+                    assert engine.is_alive(node.query.subquery(child_tree))
+
+    def test_q1_breaks_at_the_color_join(self, diagnoses):
+        """q1's frontier cause is the C^saffron ⋈ I^scented join (Example 1)."""
+        (q1,) = by_relations(diagnoses, ["Color", "Item", "ProductType"])
+        assert [d.describe() for d in q1.minimal_dead] == [
+            "Color[1]{saffron} ⋈ Item[2]{scented}"
+        ]
+
+    def test_every_dead_mtn_diagnosed(self, report, diagnoses):
+        assert len(diagnoses) == len(report.non_answers())
+
+    def test_diagnosis_costs_no_sql(self, products_debugger):
+        fresh = products_debugger.debug(QUERY)
+        executed = fresh.traversal.stats.queries_executed
+        diagnose(fresh)
+        assert fresh.traversal.stats.queries_executed == executed
+
+
+class TestCauses:
+    def test_q1_and_q2_are_dead_keyword_pairs(self, diagnoses):
+        """Both failure shapes of Example 1; footnote 1 of the paper notes
+        the fix direction (synonym vs merchandising) is data-dependent, so
+        the suggestion must offer both."""
+        (q1,) = by_relations(diagnoses, ["Color", "Item", "ProductType"])
+        assert q1.cause is Cause.DEAD_KEYWORD_PAIR
+        assert "synonym" in q1.suggestion
+        q2 = next(
+            d
+            for d in by_relations(diagnoses, ["Attribute", "Item", "ProductType"])
+            if d.non_answer.tree.size == 3
+        )
+        assert q2.cause is Cause.DEAD_KEYWORD_PAIR
+        assert "co-occur" in q2.suggestion
+
+    def test_empty_join_detected(self, products_db):
+        """A keyword-free dead join: red items exist, attributes exist, but
+        suppose no red item links to any attribute row."""
+        from repro.core.debugger import NonAnswerDebugger
+        from repro.datasets.products import product_schema
+        from repro.relational.database import Database
+
+        database = Database(product_schema())
+        database.load(
+            {
+                "ProductType": [(1, "candle")],
+                "Color": [(1, "red", "crimson")],
+                "Attribute": [(1, "scent", "vanilla")],
+                # The only red candle has no attribute row.
+                "Item": [(1, "plain item", 1, 1, None, 1.0, "nothing here")],
+            }
+        )
+        debugger = NonAnswerDebugger(database, max_joins=3)
+        report = debugger.debug("red scent")
+        results = diagnose(report)
+        assert results
+        assert any(d.cause is Cause.EMPTY_JOIN for d in results)
+
+    def test_empty_table_detected(self, products_db):
+        from repro.core.debugger import NonAnswerDebugger
+        from repro.datasets.products import product_schema
+        from repro.relational.database import Database
+
+        database = Database(product_schema())
+        database.load(
+            {
+                "ProductType": [(1, "candle")],
+                "Color": [(1, "red", "crimson")],
+                # Item empty: every connecting path is dead.
+            }
+        )
+        debugger = NonAnswerDebugger(database, max_joins=2)
+        report = debugger.debug("red candle")
+        results = diagnose(report)
+        assert results
+        assert all(d.cause is Cause.EMPTY_TABLE for d in results)
+        assert "Item" in results[0].suggestion
+
+    def test_same_diagnoses_from_every_strategy(self, products_debugger):
+        rendered = set()
+        for name in STRATEGY_NAMES:
+            report = products_debugger.debug(QUERY, strategy=name)
+            rendered.add(
+                tuple(
+                    sorted(
+                        (d.non_answer.describe(), d.cause.value,
+                         tuple(sorted(m.describe() for m in d.minimal_dead)))
+                        for d in diagnose(report)
+                    )
+                )
+            )
+        assert len(rendered) == 1
+
+
+class TestRendering:
+    def test_render_mentions_frontier(self, report):
+        text = render_diagnoses(report)
+        assert "breaks at:" in text
+        assert "works up to:" in text
+        assert "suggestion:" in text
+
+    def test_render_empty(self, products_debugger):
+        report = products_debugger.debug("vanilla")
+        assert render_diagnoses(report) == "no non-answers to diagnose"

@@ -1,0 +1,94 @@
+"""Unit tests for the instrumented evaluator (counts, cache, cost model)."""
+
+from repro.relational.evaluator import EvaluationStats, InstrumentedEvaluator
+from repro.relational.jointree import BoundQuery, JoinTree, RelationInstance
+
+
+class FakeBackend:
+    """Counts calls; aliveness is determined by the bound keyword."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def is_alive(self, query):
+        self.calls += 1
+        return "alive" in query.keywords
+
+
+class FakeCostModel:
+    def cost(self, query):
+        return 2.5
+
+
+def query(keyword: str) -> BoundQuery:
+    tree = JoinTree.single(RelationInstance("R", 1))
+    return BoundQuery.from_mapping(tree, {RelationInstance("R", 1): keyword})
+
+
+class TestInstrumentedEvaluator:
+    def test_counts_executions(self):
+        backend = FakeBackend()
+        evaluator = InstrumentedEvaluator(backend)
+        assert evaluator.is_alive(query("alive")) is True
+        assert evaluator.is_alive(query("dead-kw")) is False
+        assert evaluator.stats.queries_executed == 2
+        assert backend.calls == 2
+
+    def test_cache_hits_do_not_execute(self):
+        backend = FakeBackend()
+        evaluator = InstrumentedEvaluator(backend, use_cache=True)
+        first = evaluator.is_alive(query("alive"))
+        second = evaluator.is_alive(query("alive"))
+        assert first == second
+        assert backend.calls == 1
+        assert evaluator.stats.queries_executed == 1
+        assert evaluator.stats.cache_hits == 1
+
+    def test_no_cache_reexecutes(self):
+        backend = FakeBackend()
+        evaluator = InstrumentedEvaluator(backend, use_cache=False)
+        evaluator.is_alive(query("alive"))
+        evaluator.is_alive(query("alive"))
+        assert backend.calls == 2
+        assert evaluator.stats.cache_hits == 0
+
+    def test_reset_cache(self):
+        backend = FakeBackend()
+        evaluator = InstrumentedEvaluator(backend)
+        evaluator.is_alive(query("alive"))
+        evaluator.reset_cache()
+        evaluator.is_alive(query("alive"))
+        assert backend.calls == 2
+        assert evaluator.cache_size == 1
+
+    def test_cost_model_accumulates(self):
+        evaluator = InstrumentedEvaluator(FakeBackend(), cost_model=FakeCostModel())
+        evaluator.is_alive(query("alive"))
+        evaluator.is_alive(query("other"))
+        assert evaluator.stats.simulated_time == 5.0
+
+    def test_per_level_counts(self):
+        evaluator = InstrumentedEvaluator(FakeBackend())
+        evaluator.is_alive(query("a"))
+        evaluator.is_alive(query("b"))
+        assert evaluator.stats.executed_by_level == {1: 2}
+
+    def test_stats_snapshot_and_diff(self):
+        evaluator = InstrumentedEvaluator(FakeBackend())
+        evaluator.is_alive(query("a"))
+        before = evaluator.stats.snapshot()
+        evaluator.is_alive(query("b"))
+        evaluator.is_alive(query("c"))
+        delta = evaluator.stats.diff(before)
+        assert delta.queries_executed == 2
+        assert delta.executed_by_level == {1: 2}
+
+    def test_reset_stats(self):
+        evaluator = InstrumentedEvaluator(FakeBackend())
+        evaluator.is_alive(query("a"))
+        evaluator.reset_stats()
+        assert evaluator.stats.queries_executed == 0
+
+    def test_stats_str(self):
+        stats = EvaluationStats(queries_executed=3, cache_hits=1)
+        assert "3 queries" in str(stats)

@@ -1,0 +1,90 @@
+"""Unit tests for the inverted index and keyword mapper."""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.index.mapper import KeywordMapper
+from repro.relational.predicates import MatchMode
+
+
+class TestInvertedIndex:
+    def test_relations_containing(self, products_index):
+        assert products_index.relations_containing("saffron") == (
+            "Attribute",
+            "Color",
+            "Item",
+        )
+        assert products_index.relations_containing("candle") == ("Item", "ProductType")
+        assert products_index.relations_containing("scented") == ("Item",)
+
+    def test_missing_keyword(self, products_index):
+        assert products_index.relations_containing("sofa") == ()
+
+    def test_tuple_set(self, products_index):
+        assert products_index.tuple_set("ProductType", "candle") == {1}
+        # saffron appears in Item rows 0 (name) and 2 (description)
+        assert products_index.tuple_set("Item", "saffron") == {0, 2}
+
+    def test_tuple_set_substring(self, products_index):
+        token = products_index.tuple_set("Item", "scent", MatchMode.TOKEN)
+        substring = products_index.tuple_set("Item", "scent", MatchMode.SUBSTRING)
+        assert token == frozenset()
+        assert substring == {0, 1, 2, 3}
+
+    def test_postings_have_attributes(self, products_index):
+        postings = products_index.postings("crimson")
+        locations = {(p.relation, p.attribute) for p in postings}
+        assert ("Color", "synonyms") in locations
+        assert ("Item", "name") in locations
+
+    def test_document_frequency(self, products_index):
+        assert products_index.document_frequency("candle") == 4  # 3 items + 1 ptype
+
+    def test_vocabulary(self, products_index):
+        assert products_index.vocabulary_size > 20
+        assert "saffron" in set(products_index.tokens())
+
+    def test_provider_signature(self, products_index):
+        ids = products_index.provider("ProductType", "candle", MatchMode.TOKEN)
+        assert ids == {1}
+
+
+class TestKeywordMapper:
+    @pytest.fixture(scope="class")
+    def mapper(self, products_index):
+        return KeywordMapper(products_index)
+
+    def test_parse_dedupes_and_lowercases(self, mapper):
+        assert mapper.parse("Red red CANDLE") == ("red", "candle")
+
+    def test_map_query_complete(self, mapper):
+        mapping = mapper.map_query("saffron scented candle")
+        assert mapping.complete
+        assert mapping.keywords == ("saffron", "scented", "candle")
+        assert len(mapping.interpretations) == 3 * 1 * 2
+
+    def test_map_query_missing_keyword(self, mapper):
+        mapping = mapper.map_query("saffron sofa")
+        assert not mapping.complete
+        assert mapping.missing_keywords == ("sofa",)
+        assert mapping.interpretations == ()
+
+    def test_mapping_time_recorded(self, mapper):
+        assert mapper.map_query("candle").mapping_time >= 0.0
+
+    def test_interpretation_relation_of(self, mapper):
+        mapping = mapper.map_query("red candle")
+        first = mapping.interpretations[0]
+        assert first.relation_of("red") in ("Color", "Item")
+        with pytest.raises(KeyError):
+            first.relation_of("nope")
+
+    def test_interpretation_cap(self, products_index):
+        capped = KeywordMapper(products_index, max_interpretations=2)
+        mapping = capped.map_query("saffron scented candle")
+        assert len(mapping.interpretations) == 2
+
+    def test_describe(self, mapper):
+        mapping = mapper.map_query("saffron sofa")
+        text = mapping.describe()
+        assert "sofa" in text and "missing" in text

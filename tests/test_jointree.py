@@ -1,0 +1,207 @@
+"""Unit tests for join trees, edges, instances, and bound queries."""
+
+import pytest
+
+from repro.datasets.products import product_schema
+from repro.relational.jointree import (
+    BoundQuery,
+    JoinEdge,
+    JoinTree,
+    JoinTreeError,
+    RelationInstance,
+    validate_against_schema,
+)
+
+
+def inst(relation, copy):
+    return RelationInstance(relation, copy)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return product_schema()
+
+
+def path_tree():
+    """Color[1] -- Item[0] -- ProductType[2] over the product schema."""
+    color = inst("Color", 1)
+    item = inst("Item", 0)
+    ptype = inst("ProductType", 2)
+    e1 = JoinEdge("item_color", item, "color", color, "id")
+    e2 = JoinEdge("item_ptype", item, "ptype", ptype, "id")
+    return JoinTree(frozenset([color, item, ptype]), frozenset([e1, e2]))
+
+
+class TestRelationInstance:
+    def test_free(self):
+        assert inst("R", 0).is_free
+        assert not inst("R", 1).is_free
+
+    def test_negative_copy_rejected(self):
+        with pytest.raises(JoinTreeError):
+            inst("R", -1)
+
+    def test_ordering(self):
+        assert inst("A", 2) < inst("B", 1)
+        assert inst("A", 1) < inst("A", 2)
+
+    def test_alias_and_str(self):
+        assert inst("Item", 2).alias == "item_2"
+        assert str(inst("Item", 2)) == "Item[2]"
+
+
+class TestJoinEdge:
+    def test_normalized_endpoint_order(self):
+        a, b = inst("Color", 1), inst("Item", 0)
+        forward = JoinEdge("item_color", b, "color", a, "id")
+        backward = JoinEdge("item_color", a, "id", b, "color")
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+    def test_self_loop_rejected(self):
+        a = inst("Item", 1)
+        with pytest.raises(JoinTreeError):
+            JoinEdge("x", a, "id", a, "id")
+
+    def test_other_and_column_of(self):
+        a, b = inst("Color", 1), inst("Item", 0)
+        edge = JoinEdge("item_color", b, "color", a, "id")
+        assert edge.other(a) == b
+        assert edge.column_of(a) == "id"
+        assert edge.column_of(b) == "color"
+        with pytest.raises(JoinTreeError):
+            edge.other(inst("X", 1))
+
+    def test_from_fk_checks_relations(self, schema):
+        fk = schema.foreign_key("item_color")
+        with pytest.raises(JoinTreeError):
+            JoinEdge.from_fk(fk, inst("Color", 1), inst("Item", 0))
+
+
+class TestJoinTree:
+    def test_single(self):
+        tree = JoinTree.single(inst("Item", 1))
+        assert tree.size == 1
+        assert tree.join_count == 0
+        assert tree.leaves() == [inst("Item", 1)]
+
+    def test_invariants(self):
+        a, b = inst("Color", 1), inst("Item", 0)
+        edge = JoinEdge("item_color", b, "color", a, "id")
+        with pytest.raises(JoinTreeError):  # too many edges
+            JoinTree(frozenset([a]), frozenset([edge]))
+        with pytest.raises(JoinTreeError):  # edge endpoint missing
+            JoinTree(frozenset([a, inst("X", 1)]), frozenset([edge]))
+        with pytest.raises(JoinTreeError):  # empty
+            JoinTree(frozenset(), frozenset())
+
+    def test_path_shape(self):
+        tree = path_tree()
+        assert tree.size == 3
+        assert sorted(map(str, tree.leaves())) == ["Color[1]", "ProductType[2]"]
+        assert tree.degree(inst("Item", 0)) == 2
+
+    def test_extend_and_remove_leaf_roundtrip(self, schema):
+        tree = JoinTree.single(inst("Item", 0))
+        fk = schema.foreign_key("item_color")
+        edge = JoinEdge.from_fk(fk, inst("Item", 0), inst("Color", 1))
+        extended = tree.extend(edge, inst("Color", 1))
+        assert extended.size == 2
+        assert extended.remove_leaf(inst("Color", 1)) == tree
+
+    def test_extend_duplicate_instance_rejected(self, schema):
+        tree = JoinTree.single(inst("Item", 0))
+        fk = schema.foreign_key("item_color")
+        edge = JoinEdge.from_fk(fk, inst("Item", 0), inst("Color", 1))
+        extended = tree.extend(edge, inst("Color", 1))
+        with pytest.raises(JoinTreeError):
+            extended.extend(edge, inst("Color", 1))
+
+    def test_remove_non_leaf_rejected(self):
+        with pytest.raises(JoinTreeError):
+            path_tree().remove_leaf(inst("Item", 0))
+
+    def test_remove_only_instance_rejected(self):
+        with pytest.raises(JoinTreeError):
+            JoinTree.single(inst("Item", 0)).remove_leaf(inst("Item", 0))
+
+    def test_connected_subtrees_count(self):
+        # A path of 3 has 6 connected subtrees: 3 vertices, 2 edges, itself.
+        subtrees = list(path_tree().connected_subtrees())
+        assert len(subtrees) == 6
+        sizes = sorted(tree.size for tree in subtrees)
+        assert sizes == [1, 1, 1, 2, 2, 3]
+
+    def test_child_subtrees(self):
+        children = path_tree().child_subtrees()
+        assert len(children) == 2
+        assert all(child.size == 2 for child in children)
+
+    def test_is_subtree_of(self):
+        tree = path_tree()
+        for subtree in tree.connected_subtrees():
+            assert subtree.is_subtree_of(tree)
+        assert not tree.is_subtree_of(next(iter(tree.child_subtrees())))
+
+    def test_postorder_ends_at_root(self):
+        tree = path_tree()
+        root = inst("Color", 1)
+        order = tree.postorder(root)
+        assert order[-1][0] == root
+        assert len(order) == 3
+
+    def test_describe(self):
+        assert "Item[0]" in path_tree().describe()
+
+    def test_validate_against_schema(self, schema):
+        validate_against_schema(path_tree(), schema)
+
+    def test_validate_against_schema_rejects_wrong_columns(self, schema):
+        color, item = inst("Color", 1), inst("Item", 0)
+        bad = JoinEdge("item_color", item, "attr", color, "id")
+        tree = JoinTree(frozenset([color, item]), frozenset([bad]))
+        with pytest.raises(JoinTreeError):
+            validate_against_schema(tree, schema)
+
+
+class TestBoundQuery:
+    def test_binding_to_free_copy_rejected(self):
+        tree = JoinTree.single(inst("Item", 0))
+        with pytest.raises(JoinTreeError):
+            BoundQuery.from_mapping(tree, {inst("Item", 0): "candle"})
+
+    def test_binding_to_missing_instance_rejected(self):
+        tree = JoinTree.single(inst("Item", 1))
+        with pytest.raises(JoinTreeError):
+            BoundQuery.from_mapping(tree, {inst("Color", 1): "red"})
+
+    def test_keywords_and_lookup(self):
+        tree = path_tree()
+        query = BoundQuery.from_mapping(
+            tree, {inst("Color", 1): "red", inst("ProductType", 2): "candle"}
+        )
+        assert query.keywords == frozenset({"red", "candle"})
+        assert query.keyword_of(inst("Color", 1)) == "red"
+        assert query.keyword_of(inst("Item", 0)) is None
+
+    def test_subquery_restricts_bindings(self):
+        tree = path_tree()
+        query = BoundQuery.from_mapping(
+            tree, {inst("Color", 1): "red", inst("ProductType", 2): "candle"}
+        )
+        child = [
+            t for t in tree.child_subtrees() if inst("Color", 1) in t.instances
+        ][0]
+        sub = query.subquery(child)
+        assert sub.keywords == frozenset({"red"})
+
+    def test_subquery_of_non_subtree_rejected(self):
+        tree = path_tree()
+        query = BoundQuery.from_mapping(tree, {})
+        with pytest.raises(JoinTreeError):
+            query.subquery(JoinTree.single(inst("Attribute", 1)))
+
+    def test_describe_shows_bindings(self):
+        tree = path_tree()
+        query = BoundQuery.from_mapping(tree, {inst("Color", 1): "red"})
+        assert "Color[1]{red}" in query.describe()

@@ -1,0 +1,128 @@
+"""Unit tests for lattice generation (Phase 0, Algorithm 1)."""
+
+import pytest
+
+from repro.core.lattice import generate_lattice
+from repro.relational.jointree import RelationInstance
+from repro.relational.schema import (
+    Attribute,
+    AttributeType,
+    ForeignKey,
+    Relation,
+    SchemaGraph,
+)
+
+INT = AttributeType.INTEGER
+TEXT = AttributeType.TEXT
+
+
+@pytest.fixture(scope="module")
+def rs_schema():
+    """The paper's Example 2: R(a, b) and S(c, d) with R.b = S.c."""
+    relations = [
+        Relation("R", (Attribute("a", TEXT), Attribute("b", INT))),
+        Relation("S", (Attribute("c", INT), Attribute("d", TEXT))),
+    ]
+    return SchemaGraph.build(relations, [ForeignKey("rb_sc", "R", "b", "S", "c")])
+
+
+class TestExample2:
+    def test_figure4_shape_without_slot_pruning(self, rs_schema):
+        """m=1 without free copies or slot pruning: Figure 4 exactly."""
+        lattice = generate_lattice(
+            rs_schema, 1, distinct_slots=False, free_copies=False
+        )
+        assert lattice.stats.nodes_per_level == [4, 4]  # R1 R2 S1 S2; 4 joins
+        level2 = {node.tree.describe() for node in lattice.level_nodes(2)}
+        assert level2 == {
+            "R[1] ⋈ S[1]",
+            "R[1] ⋈ S[2]",
+            "R[2] ⋈ S[1]",
+            "R[2] ⋈ S[2]",
+        }
+
+    def test_distinct_slots_drop_unreachable_combinations(self, rs_schema):
+        lattice = generate_lattice(rs_schema, 1, free_copies=False)
+        level2 = {node.tree.describe() for node in lattice.level_nodes(2)}
+        # R1⋈S1 and R2⋈S2 can never be retained by any query.
+        assert level2 == {"R[1] ⋈ S[2]", "R[2] ⋈ S[1]"}
+
+    def test_free_copies_add_r0_s0(self, rs_schema):
+        lattice = generate_lattice(rs_schema, 1)
+        base = {node.tree.describe() for node in lattice.base_nodes()}
+        assert "R[0]" in base and "S[0]" in base
+
+    def test_duplicates_counted(self, rs_schema):
+        lattice = generate_lattice(rs_schema, 1, distinct_slots=False,
+                                   free_copies=False)
+        # Every level-2 tree is generated twice (once from each endpoint).
+        assert lattice.stats.duplicates_per_level == [0, 4]
+        assert 0 < lattice.stats.duplicate_fraction < 1
+
+
+class TestInvariants:
+    def test_levels_and_sizes(self, products_debugger):
+        lattice = products_debugger.lattice
+        for level in range(1, lattice.levels + 1):
+            for node in lattice.level_nodes(level):
+                assert node.tree.size == level
+                assert node.level == level
+
+    def test_children_are_leaf_removals(self, products_debugger):
+        lattice = products_debugger.lattice
+        for node in lattice.level_nodes(3):
+            child_trees = {child.instances for child in node.tree.child_subtrees()}
+            linked = {
+                lattice.node(child_id).tree.instances for child_id in node.children
+            }
+            assert child_trees == linked
+
+    def test_every_subtree_is_a_lattice_node(self, products_debugger):
+        """Downward closure: Phase 1's upward walk depends on it."""
+        lattice = products_debugger.lattice
+        for node in lattice.level_nodes(lattice.levels):
+            for subtree in node.tree.connected_subtrees():
+                assert lattice.lookup(subtree) is not None
+
+    def test_parent_links_are_symmetric(self, products_debugger):
+        lattice = products_debugger.lattice
+        for node in lattice.iter_nodes():
+            for parent_id in node.parents:
+                assert node.node_id in lattice.node(parent_id).children
+
+    def test_no_duplicate_trees(self, products_debugger):
+        lattice = products_debugger.lattice
+        trees = [node.tree for node in lattice.iter_nodes()]
+        assert len(set(trees)) == len(trees)
+
+    def test_distinct_slots_enforced(self, products_debugger):
+        for node in products_debugger.lattice.iter_nodes():
+            slots = [
+                instance.copy
+                for instance in node.tree.instances
+                if not instance.is_free
+            ]
+            assert len(slots) == len(set(slots))
+
+    def test_max_keywords_caps_slots(self, products_db):
+        lattice = generate_lattice(products_db.schema, 2, max_keywords=1)
+        for node in lattice.iter_nodes():
+            slots = {i.copy for i in node.tree.instances if not i.is_free}
+            assert slots <= {1}
+
+    def test_stats_consistency(self, products_debugger):
+        stats = products_debugger.lattice.stats
+        assert stats.total_nodes == len(products_debugger.lattice)
+        assert len(stats.time_per_level) == stats.levels
+        assert stats.total_time >= 0
+
+    def test_copies_of(self, products_debugger):
+        copies = products_debugger.lattice.copies_of("Item")
+        assert copies[0] == RelationInstance("Item", 0)
+        assert len(copies) == products_debugger.lattice.max_keywords + 1
+
+    def test_invalid_arguments(self, products_db):
+        with pytest.raises(ValueError):
+            generate_lattice(products_db.schema, -1)
+        with pytest.raises(ValueError):
+            generate_lattice(products_db.schema, 1, max_keywords=0)

@@ -1,0 +1,91 @@
+"""Tests for lattice and report persistence."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import (
+    PersistenceError,
+    decode_tree,
+    encode_tree,
+    load_lattice,
+    report_to_dict,
+    save_lattice,
+    save_report,
+)
+
+
+class TestTreeRoundtrip:
+    def test_encode_decode(self, products_debugger):
+        for node in products_debugger.lattice.level_nodes(3)[:20]:
+            assert decode_tree(encode_tree(node.tree)) == node.tree
+
+    def test_malformed_payload(self):
+        with pytest.raises(PersistenceError):
+            decode_tree({"instances": [["R"]], "edges": []})
+
+
+class TestLatticeRoundtrip:
+    def test_roundtrip_preserves_everything(self, products_debugger, tmp_path):
+        lattice = products_debugger.lattice
+        path = tmp_path / "lattice.json"
+        save_lattice(lattice, path)
+        loaded = load_lattice(path, lattice.schema)
+
+        assert len(loaded) == len(lattice)
+        assert loaded.max_joins == lattice.max_joins
+        assert loaded.max_keywords == lattice.max_keywords
+        for original, restored in zip(lattice.nodes, loaded.nodes):
+            assert original.tree == restored.tree
+            assert sorted(original.parents) == sorted(restored.parents)
+            assert sorted(original.children) == sorted(restored.children)
+        assert loaded.stats.nodes_per_level == lattice.stats.nodes_per_level
+
+    def test_loaded_lattice_answers_queries(self, products_db, products_debugger, tmp_path):
+        from repro.core.debugger import NonAnswerDebugger
+
+        path = tmp_path / "lattice.json"
+        save_lattice(products_debugger.lattice, path)
+        loaded = load_lattice(path, products_db.schema)
+        debugger = NonAnswerDebugger(products_db, lattice=loaded)
+        report = debugger.debug("saffron scented candle")
+        baseline = products_debugger.debug("saffron scented candle")
+        assert {q.describe() for q in report.non_answers()} == {
+            q.describe() for q in baseline.non_answers()
+        }
+
+    def test_wrong_schema_rejected(self, products_debugger, dblife_db, tmp_path):
+        path = tmp_path / "lattice.json"
+        save_lattice(products_debugger.lattice, path)
+        with pytest.raises(PersistenceError, match="different schema"):
+            load_lattice(path, dblife_db.schema)
+
+    def test_wrong_kind_rejected(self, tmp_path, products_db):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"kind": "nonsense", "format": 1}))
+        with pytest.raises(PersistenceError):
+            load_lattice(path, products_db.schema)
+
+
+class TestReportExport:
+    def test_report_dict_contents(self, products_debugger):
+        report = products_debugger.debug("saffron scented candle")
+        payload = report_to_dict(report)
+        assert payload["query"] == "saffron scented candle"
+        assert payload["mtn_count"] == 5
+        assert len(payload["non_answers"]) == 4
+        assert payload["sql_queries_executed"] > 0
+        for entry in payload["non_answers"]:
+            assert entry["mpans"], "every dead CN has at least one MPAN here"
+
+    def test_aborted_report(self, products_debugger):
+        payload = report_to_dict(products_debugger.debug("sofa"))
+        assert payload["aborted"] is True
+        assert "answers" not in payload
+
+    def test_save_report_is_json(self, products_debugger, tmp_path):
+        report = products_debugger.debug("red candle")
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        parsed = json.loads(path.read_text())
+        assert parsed["kind"] == "debug_report"

@@ -1,0 +1,68 @@
+"""Unit tests for keyword predicates and the shared tokenizer."""
+
+import pytest
+
+from repro.relational.predicates import (
+    KeywordPredicate,
+    MatchMode,
+    cell_matches,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Saffron Scented-Candle") == ["saffron", "scented", "candle"]
+
+    def test_numbers_kept(self):
+        assert tokenize("burn time 50 hrs") == ["burn", "time", "50", "hrs"]
+
+    def test_punctuation_dropped(self):
+        assert tokenize("3.4 oz.") == ["3", "4", "oz"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestCellMatches:
+    def test_token_exact(self):
+        assert cell_matches("candle", "red candle", MatchMode.TOKEN)
+        assert not cell_matches("can", "red candle", MatchMode.TOKEN)
+
+    def test_token_case_insensitive(self):
+        assert cell_matches("CANDLE", "Red Candle", MatchMode.TOKEN)
+
+    def test_substring(self):
+        assert cell_matches("can", "red candle", MatchMode.SUBSTRING)
+        assert cell_matches("scent", "unscented", MatchMode.SUBSTRING)
+        assert not cell_matches("blue", "red candle", MatchMode.SUBSTRING)
+
+
+class TestKeywordPredicate:
+    def test_empty_keyword_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordPredicate("  ")
+
+    def test_matches_row(self):
+        predicate = KeywordPredicate("saffron")
+        assert predicate.matches_row([("name", "saffron oil")])
+        assert not predicate.matches_row([("name", "vanilla oil")])
+        assert not predicate.matches_row([])
+
+    def test_sql_condition_substring(self):
+        predicate = KeywordPredicate("saffron", MatchMode.SUBSTRING)
+        sql = predicate.sql_condition("item_1", ("name", "description"))
+        assert "LOWER(item_1.name) LIKE '%saffron%'" in sql
+        assert "OR" in sql
+
+    def test_sql_condition_token(self):
+        predicate = KeywordPredicate("saffron", MatchMode.TOKEN)
+        sql = predicate.sql_condition("item_1", ("name",))
+        assert "TOKEN_MATCH('saffron', item_1.name)" in sql
+
+    def test_sql_condition_escapes_quotes(self):
+        predicate = KeywordPredicate("o'neil", MatchMode.SUBSTRING)
+        assert "o''neil" in predicate.sql_condition("t", ("name",))
+
+    def test_sql_condition_no_columns(self):
+        assert KeywordPredicate("x").sql_condition("t", ()) == "0 = 1"

@@ -1,0 +1,89 @@
+"""Tests for explanation filtering and priority ordering."""
+
+import pytest
+
+from repro.core.ranking import (
+    ExplanationRanker,
+    default_scorer,
+    keyword_coverage,
+    only_bound,
+    relative_size,
+)
+
+QUERY = "saffron scented candle"
+
+
+@pytest.fixture(scope="module")
+def report(products_debugger):
+    return products_debugger.debug(QUERY)
+
+
+def first_explanation(report):
+    explanations = report.explanations()
+    assert explanations
+    return explanations[0]
+
+
+class TestScorers:
+    def test_keyword_coverage_bounds(self, report):
+        non_answer, mpans = first_explanation(report)
+        for mpan in mpans:
+            assert 0.0 <= keyword_coverage(mpan, non_answer) <= 1.0
+
+    def test_relative_size_bounds(self, report):
+        non_answer, mpans = first_explanation(report)
+        for mpan in mpans:
+            assert 0.0 < relative_size(mpan, non_answer) < 1.0
+
+    def test_default_scorer_prefers_coverage(self, report):
+        """A two-keyword MPAN outranks a one-keyword MPAN."""
+        for non_answer, mpans in report.explanations():
+            two = [m for m in mpans if len(m.keywords) == 2]
+            one = [m for m in mpans if len(m.keywords) == 1]
+            if two and one:
+                assert default_scorer(two[0], non_answer) > default_scorer(
+                    one[0], non_answer
+                )
+                return
+        pytest.skip("no mixed-coverage explanation in this report")
+
+
+class TestRanker:
+    def test_order_is_descending(self, report):
+        ranker = ExplanationRanker()
+        for explanation in ranker.rank_report(report):
+            scores = list(explanation.scores)
+            assert scores == sorted(scores, reverse=True)
+
+    def test_top_k(self, report):
+        ranker = ExplanationRanker(top_k=1)
+        for explanation in ranker.rank_report(report):
+            assert len(explanation.mpans) <= 1
+
+    def test_filters_applied(self, report):
+        ranker = ExplanationRanker(filters=(only_bound,))
+        for explanation in ranker.rank_report(report):
+            for mpan in explanation.mpans:
+                assert mpan.keywords
+
+    def test_rank_preserves_mpan_set(self, report):
+        ranker = ExplanationRanker()
+        ranked = ranker.rank_report(report)
+        original = {
+            non_answer.describe(): {m.describe() for m in mpans}
+            for non_answer, mpans in report.explanations()
+        }
+        for explanation in ranked:
+            assert {
+                m.describe() for m in explanation.mpans
+            } == original[explanation.non_answer.describe()]
+
+    def test_render(self, report):
+        text = ExplanationRanker().render(report)
+        assert "Prioritized explanations" in text
+        assert "⋈" in text
+
+    def test_explanation_top(self, report):
+        ranker = ExplanationRanker()
+        explanation = ranker.rank_report(report)[0]
+        assert len(explanation.top(1)) == 1

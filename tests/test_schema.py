@@ -1,0 +1,166 @@
+"""Unit tests for relations, attributes, foreign keys, and the schema graph."""
+
+import pytest
+
+from repro.relational.schema import (
+    Attribute,
+    AttributeType,
+    ForeignKey,
+    Relation,
+    SchemaError,
+    SchemaGraph,
+    star_schema,
+)
+
+INT = AttributeType.INTEGER
+TEXT = AttributeType.TEXT
+
+
+def make_graph():
+    relations = [
+        Relation("R", (Attribute("id", INT), Attribute("name", TEXT))),
+        Relation("S", (Attribute("id", INT), Attribute("r_id", INT),
+                       Attribute("label", TEXT))),
+    ]
+    fks = [ForeignKey("s_r", "S", "r_id", "R", "id")]
+    return SchemaGraph.build(relations, fks)
+
+
+class TestAttribute:
+    def test_text_defaults_searchable(self):
+        assert Attribute("name", TEXT).searchable is True
+
+    def test_integer_defaults_not_searchable(self):
+        assert Attribute("id", INT).searchable is False
+
+    def test_integer_cannot_be_searchable(self):
+        with pytest.raises(SchemaError):
+            Attribute("id", INT, searchable=True)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad name", TEXT)
+
+    def test_sql_type_names(self):
+        assert INT.sql_name == "INTEGER"
+        assert TEXT.sql_name == "TEXT"
+        assert AttributeType.REAL.sql_name == "REAL"
+
+
+class TestRelation:
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", (Attribute("a", TEXT), Attribute("a", TEXT)))
+
+    def test_build_from_mapping(self):
+        relation = Relation.build("R", {"id": "integer", "name": "text"})
+        assert relation.attribute_names == ("id", "name")
+        assert relation.attribute("id").type is INT
+
+    def test_text_attributes(self):
+        relation = Relation("R", (Attribute("id", INT), Attribute("name", TEXT)))
+        assert [a.name for a in relation.text_attributes] == ["name"]
+
+    def test_index_of(self):
+        relation = Relation("R", (Attribute("id", INT), Attribute("name", TEXT)))
+        assert relation.index_of("name") == 1
+        with pytest.raises(SchemaError):
+            relation.index_of("missing")
+
+    def test_unknown_attribute(self):
+        relation = Relation("R", (Attribute("id", INT),))
+        with pytest.raises(SchemaError):
+            relation.attribute("nope")
+        assert not relation.has_attribute("nope")
+        assert relation.has_attribute("id")
+
+
+class TestForeignKey:
+    def test_endpoints_and_other(self):
+        fk = ForeignKey("s_r", "S", "r_id", "R", "id")
+        assert fk.endpoints() == ("S", "R")
+        assert fk.other("S") == "R"
+        assert fk.other("R") == "S"
+        with pytest.raises(SchemaError):
+            fk.other("T")
+
+    def test_column_of(self):
+        fk = ForeignKey("s_r", "S", "r_id", "R", "id")
+        assert fk.column_of("S") == "r_id"
+        assert fk.column_of("R") == "id"
+
+    def test_touches(self):
+        fk = ForeignKey("s_r", "S", "r_id", "R", "id")
+        assert fk.touches("S") and fk.touches("R") and not fk.touches("T")
+
+
+class TestSchemaGraph:
+    def test_freeze_assigns_stable_ids(self):
+        graph = make_graph()
+        assert graph.relation_id("R") == 0
+        assert graph.relation_id("S") == 1
+        assert graph.edge_id("s_r") == 0
+
+    def test_duplicate_relation_rejected(self):
+        graph = SchemaGraph()
+        graph.add_relation(Relation("R", (Attribute("id", INT),)))
+        with pytest.raises(SchemaError):
+            graph.add_relation(Relation("R", (Attribute("id", INT),)))
+
+    def test_mutation_after_freeze_rejected(self):
+        graph = make_graph()
+        with pytest.raises(SchemaError):
+            graph.add_relation(Relation("T", (Attribute("id", INT),)))
+
+    def test_edge_on_searchable_column_rejected(self):
+        relations = [
+            Relation("R", (Attribute("name", TEXT),)),
+            Relation("S", (Attribute("r_name", TEXT),)),
+        ]
+        fks = [ForeignKey("bad", "S", "r_name", "R", "name")]
+        with pytest.raises(SchemaError):
+            SchemaGraph.build(relations, fks)
+
+    def test_edges_of(self):
+        graph = make_graph()
+        assert [fk.name for fk in graph.edges_of("R")] == ["s_r"]
+        assert [fk.name for fk in graph.edges_of("S")] == ["s_r"]
+
+    def test_unknown_lookups(self):
+        graph = make_graph()
+        with pytest.raises(SchemaError):
+            graph.relation("nope")
+        with pytest.raises(SchemaError):
+            graph.foreign_key("nope")
+        with pytest.raises(SchemaError):
+            graph.edges_of("nope")
+
+    def test_unfrozen_query_rejected(self):
+        graph = SchemaGraph()
+        graph.add_relation(Relation("R", (Attribute("id", INT),)))
+        with pytest.raises(SchemaError):
+            graph.edges_of("R")
+
+    def test_connected(self):
+        graph = make_graph()
+        assert graph.connected()
+
+    def test_disconnected(self):
+        relations = [
+            Relation("R", (Attribute("id", INT),)),
+            Relation("S", (Attribute("id", INT),)),
+        ]
+        graph = SchemaGraph.build(relations, [])
+        assert not graph.connected()
+
+    def test_searchable_relations(self):
+        graph = make_graph()
+        assert graph.searchable_relations() == ("R", "S")
+
+    def test_star_schema_helper(self):
+        center = Relation("Hub", (Attribute("id", INT), Attribute("name", TEXT)))
+        point = Relation("Leaf", (Attribute("id", INT), Attribute("name", TEXT)))
+        graph = star_schema(center, [point], [("Link", "Hub", "Leaf")])
+        assert set(graph.relations) == {"Hub", "Leaf", "Link"}
+        assert len(graph.foreign_keys) == 2
+        assert graph.connected()

@@ -1,0 +1,116 @@
+"""Tests for the interactive debugging session."""
+
+import pytest
+
+from repro.core.session import DebugSession, SessionError
+from repro.core.status import Status
+
+QUERY = "saffron scented candle"
+
+
+@pytest.fixture
+def session(products_debugger):
+    return DebugSession(products_debugger, QUERY)
+
+
+class TestLifecycle:
+    def test_opening_costs_no_sql(self, session):
+        assert session.evaluator.stats.queries_executed == 0
+
+    def test_missing_keywords_rejected(self, products_debugger):
+        with pytest.raises(SessionError, match="sofa"):
+            DebugSession(products_debugger, "saffron sofa")
+
+    def test_overview_lists_all_mtns(self, session):
+        views = session.overview()
+        assert len(views) == 5
+        assert all(view.status is Status.POSSIBLY_ALIVE for view in views)
+
+    def test_progress_string(self, session):
+        assert "0/5" in session.progress()
+
+
+class TestClassify:
+    def test_classify_costs_at_most_one_query(self, session):
+        before = session.evaluator.stats.queries_executed
+        session.classify(0)
+        assert session.evaluator.stats.queries_executed <= before + 1
+
+    def test_classify_is_idempotent(self, session):
+        first = session.classify(0)
+        executed = session.evaluator.stats.queries_executed
+        assert session.classify(0) is first
+        assert session.evaluator.stats.queries_executed == executed
+
+    def test_unknown_position(self, session):
+        with pytest.raises(SessionError):
+            session.classify(99)
+
+    def test_matches_batch_debugger(self, session, products_debugger):
+        batch = products_debugger.debug(QUERY)
+        batch_status = {
+            batch.graph.node(i).query.describe(): Status.ALIVE
+            for i in batch.traversal.alive_mtns
+        }
+        batch_status.update(
+            (batch.graph.node(i).query.describe(), Status.DEAD)
+            for i in batch.traversal.dead_mtns
+        )
+        for view in session.overview():
+            assert session.classify(view.position) is batch_status[
+                view.query.describe()
+            ]
+
+
+class TestExplain:
+    def test_alive_mtn_has_no_explanation(self, session):
+        for view in session.overview():
+            if session.classify(view.position) is Status.ALIVE:
+                assert session.explain(view.position) == []
+                return
+        pytest.fail("expected at least one alive candidate")
+
+    def test_explanations_match_batch(self, session, products_debugger):
+        batch = products_debugger.debug(QUERY)
+        batch_mpans = {
+            q.describe(): sorted(m.describe() for m in mpans)
+            for q, mpans in batch.explanations()
+        }
+        for view in session.overview():
+            if session.classify(view.position) is Status.DEAD:
+                mpans = sorted(m.describe() for m in session.explain(view.position))
+                assert mpans == batch_mpans[view.query.describe()]
+
+    def test_explanations_shared_learning(self, session):
+        """Explaining a second overlapping candidate is cheaper."""
+        dead = [
+            view.position
+            for view in session.overview()
+            if session.classify(view.position) is Status.DEAD
+        ]
+        assert len(dead) >= 2
+        session.explain(dead[0])
+        first_cost = session.evaluator.stats.queries_executed
+        session.explain(dead[1])
+        second_cost = session.evaluator.stats.queries_executed - first_cost
+        # The shared store/cache means the second explanation re-executes
+        # none of the overlapping sub-queries.
+        assert second_cost <= first_cost
+
+    def test_explain_all_skips_dismissed(self, session):
+        session.dismiss(0)
+        explanations = session.explain_all()
+        assert 0 not in explanations
+        views = session.overview()
+        assert views[0].dismissed
+
+    def test_explain_all_covers_dead(self, session):
+        explanations = session.explain_all()
+        dead = [
+            view.position
+            for view in session.overview()
+            if view.status is Status.DEAD
+        ]
+        assert sorted(explanations) == dead
+        for mpans in explanations.values():
+            assert mpans

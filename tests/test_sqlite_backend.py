@@ -1,0 +1,89 @@
+"""The sqlite3 backend must agree with the in-memory engine."""
+
+import pytest
+
+from repro.relational.engine import InMemoryEngine
+from repro.relational.jointree import BoundQuery, JoinEdge, JoinTree, RelationInstance
+from repro.relational.predicates import MatchMode
+from repro.relational.sqlite_backend import SqliteEngine
+
+
+def inst(relation, copy):
+    return RelationInstance(relation, copy)
+
+
+@pytest.fixture(scope="module")
+def sqlite_engine(products_db):
+    with SqliteEngine(products_db) as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def memory_engine(products_db):
+    return InMemoryEngine(products_db)
+
+
+def example1_q2(schema, mode=MatchMode.TOKEN):
+    item, ptype, attr = inst("Item", 2), inst("ProductType", 3), inst("Attribute", 1)
+    tree = JoinTree(
+        frozenset([item, ptype, attr]),
+        frozenset(
+            [
+                JoinEdge.from_fk(schema.foreign_key("item_ptype"), item, ptype),
+                JoinEdge.from_fk(schema.foreign_key("item_attr"), item, attr),
+            ]
+        ),
+    )
+    return BoundQuery.from_mapping(
+        tree, {item: "scented", ptype: "candle", attr: "saffron"}, mode
+    )
+
+
+class TestSqliteEngine:
+    def test_row_counts_loaded(self, sqlite_engine, products_db):
+        for table in products_db.iter_tables():
+            count = sqlite_engine.connection.execute(
+                f"SELECT COUNT(*) FROM {table.relation.name}"
+            ).fetchone()[0]
+            assert count == len(table)
+
+    def test_q2_dead_on_both_backends(self, sqlite_engine, memory_engine, products_db):
+        query = example1_q2(products_db.schema)
+        assert sqlite_engine.is_alive(query) == memory_engine.is_alive(query) is False
+
+    def test_subquery_alive_on_both_backends(
+        self, sqlite_engine, memory_engine, products_db
+    ):
+        query = example1_q2(products_db.schema)
+        for subtree in query.tree.child_subtrees():
+            sub = query.subquery(subtree)
+            assert sqlite_engine.is_alive(sub) == memory_engine.is_alive(sub)
+
+    def test_substring_mode(self, sqlite_engine, products_db):
+        query = example1_q2(products_db.schema, MatchMode.SUBSTRING)
+        assert not sqlite_engine.is_alive(query)
+
+    def test_count_and_fetch(self, sqlite_engine, products_db):
+        schema = products_db.schema
+        tree = JoinTree.single(inst("Item", 1))
+        query = BoundQuery.from_mapping(tree, {inst("Item", 1): "scented"})
+        assert sqlite_engine.count(query) == 4  # item 4: "rose scented" desc
+        assert len(sqlite_engine.fetch(query, limit=2)) == 2
+
+    def test_token_match_function_handles_null(self, sqlite_engine):
+        # Item 1's color is NULL; TOKEN_MATCH on NULL must not error.
+        rows = sqlite_engine.connection.execute(
+            "SELECT COUNT(*) FROM Item WHERE TOKEN_MATCH('x', NULL)"
+        ).fetchone()
+        assert rows[0] == 0
+
+    def test_full_workload_agreement(self, products_debugger, products_db):
+        """Every exploration-graph query agrees across backends."""
+        sqlite_engine = SqliteEngine(products_db)
+        memory_engine = InMemoryEngine(products_db)
+        report = products_debugger.debug("saffron scented candle")
+        for node in report.graph.nodes:
+            assert sqlite_engine.is_alive(node.query) == memory_engine.is_alive(
+                node.query
+            ), node.query.describe()
+        sqlite_engine.close()

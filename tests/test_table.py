@@ -1,0 +1,114 @@
+"""Unit tests for the in-memory table storage."""
+
+import pytest
+
+from repro.relational.schema import Attribute, AttributeType, Relation
+from repro.relational.table import Table, TableError
+
+INT = AttributeType.INTEGER
+TEXT = AttributeType.TEXT
+REAL = AttributeType.REAL
+
+
+@pytest.fixture
+def relation():
+    return Relation(
+        "Item",
+        (Attribute("id", INT), Attribute("name", TEXT), Attribute("cost", REAL)),
+    )
+
+
+@pytest.fixture
+def table(relation):
+    return Table(
+        relation,
+        [(1, "red candle", 3.99), (2, "blue candle", 4.99), (3, None, 1.0)],
+    )
+
+
+class TestInsert:
+    def test_insert_returns_row_id(self, relation):
+        table = Table(relation)
+        assert table.insert((1, "x", 1.0)) == 0
+        assert table.insert((2, "y", 2.0)) == 1
+
+    def test_wrong_arity_rejected(self, relation):
+        with pytest.raises(TableError):
+            Table(relation, [(1, "x")])
+
+    def test_wrong_type_rejected(self, relation):
+        with pytest.raises(TableError):
+            Table(relation, [("one", "x", 1.0)])
+        with pytest.raises(TableError):
+            Table(relation, [(1, 42, 1.0)])
+
+    def test_bool_is_not_integer(self, relation):
+        with pytest.raises(TableError):
+            Table(relation, [(True, "x", 1.0)])
+
+    def test_int_coerced_to_real(self, relation):
+        table = Table(relation, [(1, "x", 2)])
+        assert table.value(0, "cost") == 2.0
+
+    def test_nulls_allowed(self, table):
+        assert table.value(2, "name") is None
+
+    def test_insert_dict(self, relation):
+        table = Table(relation)
+        table.insert_dict({"id": 1, "name": "x"})
+        assert table.row(0) == (1, "x", None)
+
+    def test_insert_dict_unknown_column(self, relation):
+        with pytest.raises(TableError):
+            Table(relation).insert_dict({"nope": 1})
+
+
+class TestAccess:
+    def test_len_and_iter(self, table):
+        assert len(table) == 3
+        assert len(list(table)) == 3
+
+    def test_value(self, table):
+        assert table.value(0, "name") == "red candle"
+
+    def test_column_values(self, table):
+        assert table.column_values("id") == [1, 2, 3]
+
+    def test_rows_as_dicts(self, table):
+        rows = table.rows_as_dicts([1])
+        assert rows == [{"id": 2, "name": "blue candle", "cost": 4.99}]
+
+    def test_text_cells_skip_nulls(self, table):
+        assert list(table.text_cells(2)) == []
+        assert list(table.text_cells(0)) == [("name", "red candle")]
+
+
+class TestIndexes:
+    def test_index_on(self, table):
+        index = table.index_on("id")
+        assert index[2] == [1]
+
+    def test_nulls_not_indexed(self, table):
+        assert None not in table.index_on("name")
+
+    def test_matching_ids(self, table):
+        assert table.matching_ids("name", "red candle") == [0]
+        assert table.matching_ids("name", None) == []
+        assert table.matching_ids("name", "missing") == []
+
+    def test_index_invalidated_on_insert(self, table):
+        table.index_on("id")
+        table.insert((4, "w", 0.5))
+        assert table.matching_ids("id", 4) == [3]
+
+    def test_select_ids(self, table):
+        assert table.select_ids(lambda row: row[2] > 4.0) == [1]
+
+
+class TestForeignKeyValidation:
+    def test_violations_found(self, relation):
+        parent = Table(
+            Relation("P", (Attribute("id", INT),)), [(1,), (2,)]
+        )
+        child = Table(relation, [(1, "a", 0.0), (9, "b", 0.0), (None, "c", 0.0)])
+        assert child.validate_foreign_key("id", parent, "id") == [1]

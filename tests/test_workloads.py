@@ -1,0 +1,111 @@
+"""Tests for the Table-2 workload and the random workload generator."""
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.workloads.generator import RandomWorkload
+from repro.workloads.queries import TABLE2_QUERIES, query_by_id, table2_workload
+
+
+class TestTable2:
+    def test_ten_queries_in_paper_order(self):
+        assert len(TABLE2_QUERIES) == 10
+        assert [q.qid for q in table2_workload()] == [f"Q{i}" for i in range(1, 11)]
+
+    def test_query_texts_match_paper(self):
+        assert query_by_id("Q1").text == "Widom Trio"
+        assert query_by_id("q8").text == "Probabilistic Data Washington"
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            query_by_id("Q11")
+
+    def test_every_keyword_occurs_in_dblife(self, dblife_db):
+        """All workload keywords map somewhere ('and' semantics holds)."""
+        index = InvertedIndex(dblife_db)
+        for query in TABLE2_QUERIES:
+            for token in query.text.lower().split():
+                assert index.relations_containing(token), (query.qid, token)
+
+    def test_washington_is_ambiguous(self, dblife_db):
+        """Q8's 'Washington' occurs in Person, Publication, Organization."""
+        index = InvertedIndex(dblife_db)
+        assert index.relations_containing("washington") == (
+            "Organization",
+            "Person",
+            "Publication",
+        )
+
+    def test_person_names_only_in_person(self, dblife_db):
+        index = InvertedIndex(dblife_db)
+        for surname in ("widom", "hristidis", "agrawal", "chaudhuri",
+                        "derose", "gray", "dewitt"):
+            assert index.relations_containing(surname) == ("Person",), surname
+
+    def test_tutorial_only_in_publications(self, dblife_db):
+        index = InvertedIndex(dblife_db)
+        assert index.relations_containing("tutorial") == ("Publication",)
+
+
+class TestWorkloadSemantics:
+    """The qualitative character of Table 2 on the synthetic snapshot."""
+
+    def test_three_keyword_queries_have_no_level3_mtns(self, dblife_debugger):
+        """Entity-carried keywords need >= 5 instances for 3 keywords."""
+        for qid in ("Q2", "Q3", "Q8", "Q10"):
+            report = dblife_debugger.debug(query_by_id(qid).text)
+            assert report.mtn_count == 0, qid
+
+    def test_q5_alive_at_level3(self, dblife_debugger):
+        """Gray serves on SIGMOD: a direct relationship exists."""
+        report = dblife_debugger.debug(query_by_id("Q5").text)
+        assert report.answers()
+
+    def test_q4_dead_at_level3(self, dblife_debugger):
+        """DeRose has no direct VLDB relationship."""
+        report = dblife_debugger.debug(query_by_id("Q4").text)
+        assert report.mtn_count > 0
+        assert not report.answers()
+        assert report.explanations()
+
+    def test_q4_alive_at_level5(self, dblife_db):
+        """...but relationships with more hops exist (via Gray/coauthors)."""
+        from repro.core.debugger import NonAnswerDebugger
+
+        debugger = NonAnswerDebugger(dblife_db, max_joins=4, use_lattice=False)
+        report = debugger.debug(query_by_id("Q4").text)
+        assert report.answers()
+
+    def test_q1_alive_at_level3(self, dblife_debugger):
+        report = dblife_debugger.debug(query_by_id("Q1").text)
+        assert report.answers()
+
+
+class TestRandomWorkload:
+    def test_deterministic(self, products_index):
+        one = RandomWorkload(products_index, seed=3).batch(5)
+        two = RandomWorkload(products_index, seed=3).batch(5)
+        assert one == two
+
+    def test_keyword_counts(self, products_index):
+        workload = RandomWorkload(products_index, min_keywords=2, max_keywords=2)
+        for query in workload.batch(10):
+            assert len(query.split()) == 2
+
+    def test_vocabulary_membership(self, products_index):
+        vocabulary = set(products_index.tokens())
+        workload = RandomWorkload(products_index)
+        for query in workload.batch(10):
+            assert set(query.split()) <= vocabulary
+
+    def test_missing_injection(self, products_index):
+        workload = RandomWorkload(
+            products_index, seed=1, missing_probability=1.0
+        )
+        assert "zzzmissingzzz" in workload.next_query()
+
+    def test_invalid_bounds(self, products_index):
+        with pytest.raises(ValueError):
+            RandomWorkload(products_index, min_keywords=0)
+        with pytest.raises(ValueError):
+            RandomWorkload(products_index, min_keywords=3, max_keywords=2)
