@@ -1,0 +1,67 @@
+"""Static analysis for plans, SQL templates, and the codebase itself.
+
+Two layers, one diagnostic vocabulary (see
+:mod:`repro.analysis.diagnostics` for the full code registry):
+
+* **Plan linter** (``PLAN*``/``SQL*``) -- verifies every documented
+  structural invariant of join trees, the lattice, candidate-network
+  output, and rendered SQL templates *statically*, including a sqlite
+  prepare-only dry run of every template with no data loaded.
+* **Repo linter** (``LINT*``) -- stdlib-``ast`` rules enforcing the
+  determinism and typing invariants benchmarks rely on.
+
+Entry points: ``repro lint [--json]`` on the command line,
+:func:`repro.analysis.run_lint` from code, and a pytest-collected check in
+``tests/test_repo_lint.py`` that keeps the tree clean in CI.
+"""
+
+from repro.analysis.diagnostics import (
+    CODE_REGISTRY,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    describe_codes,
+)
+from repro.analysis.plan_linter import (
+    lint_candidate_networks,
+    lint_lattice,
+    lint_tree,
+)
+from repro.analysis.repo_linter import lint_repo, lint_source
+from repro.analysis.runner import (
+    LintOptions,
+    dataset_schema,
+    lint_built_lattice,
+    lint_schema_lattice,
+    run_lint,
+)
+from repro.analysis.sql_linter import (
+    SqlDryRunner,
+    find_unquoted_reserved,
+    lint_ddl,
+    lint_lattice_templates,
+    lint_statements,
+)
+
+__all__ = [
+    "CODE_REGISTRY",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "describe_codes",
+    "lint_candidate_networks",
+    "lint_lattice",
+    "lint_tree",
+    "lint_repo",
+    "lint_source",
+    "LintOptions",
+    "dataset_schema",
+    "lint_built_lattice",
+    "lint_schema_lattice",
+    "run_lint",
+    "SqlDryRunner",
+    "find_unquoted_reserved",
+    "lint_ddl",
+    "lint_lattice_templates",
+    "lint_statements",
+]

@@ -1,0 +1,202 @@
+"""The diagnostic framework shared by every linter layer.
+
+A :class:`Diagnostic` is one finding: a stable machine-readable *code*
+(``PLAN001``, ``SQL002``, ``LINT003``, ...), a :class:`Severity`, a
+human-readable message, the *location* the finding anchors to (a lattice
+node, a SQL template, a ``file:line``), and an optional fix hint.
+:class:`DiagnosticReport` aggregates findings across passes and renders
+them for terminals (``repro lint``) or machines (``repro lint --json``).
+
+The code registry below is the single source of truth for which codes
+exist; :func:`describe_codes` backs the README table and ``--explain``
+style tooling, and the tests assert every emitted code is registered.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  ``ERROR`` findings fail the build."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Registry of every diagnostic code: ``code -> (slug, one-line summary)``.
+CODE_REGISTRY: dict[str, tuple[str, str]] = {
+    "PLAN001": (
+        "dangling-join-edge",
+        "a join edge references a foreign key the schema does not declare "
+        "(unknown name, wrong relations/columns, or an endpoint outside the "
+        "tree)",
+    ),
+    "PLAN002": (
+        "disconnected-tree",
+        "a plan's instances and edges do not form one connected acyclic tree",
+    ),
+    "PLAN003": (
+        "type-mismatched-join",
+        "a join equates columns of different declared types, or joins on a "
+        "searchable text column",
+    ),
+    "PLAN004": (
+        "duplicate-slot",
+        "two relation instances occupy the same keyword slot, so at most one "
+        "can ever be bound",
+    ),
+    "PLAN005": (
+        "unbound-keyword-slot",
+        "a keyword slot that no keyword can bind: its copy index exceeds the "
+        "lattice's max_keywords, or the instance is outside the "
+        "interpretation's bound set",
+    ),
+    "PLAN006": (
+        "non-minimal-network",
+        "a candidate network has a free leaf, which could be dropped without "
+        "losing any keyword",
+    ),
+    "PLAN007": (
+        "broken-lattice-link",
+        "lattice parent/child adjacency is inconsistent (level mismatch, "
+        "unmirrored link, or out-of-range node id)",
+    ),
+    "SQL001": (
+        "unquoted-reserved-identifier",
+        "a rendered SQL statement uses a reserved word as a bare identifier",
+    ),
+    "SQL002": (
+        "template-fails-sqlite-prepare",
+        "a rendered SQL template does not compile under sqlite's prepare "
+        "step (dry run with no data loaded)",
+    ),
+    "LINT001": (
+        "nondeterministic-call",
+        "wall-clock or global-RNG call (time.time, datetime.now, random.*) "
+        "outside repro.bench; breaks benchmark determinism and resumability",
+    ),
+    "LINT002": (
+        "mutable-default-arg",
+        "a function declares a mutable default argument (list/dict/set "
+        "literal or constructor)",
+    ),
+    "LINT003": (
+        "missing-annotation",
+        "a public function in repro.core or repro.relational lacks parameter "
+        "or return type annotations",
+    ),
+}
+
+
+def describe_codes() -> list[tuple[str, str, str]]:
+    """``(code, slug, summary)`` rows for every registered diagnostic."""
+    return [(code, slug, summary) for code, (slug, summary) in CODE_REGISTRY.items()]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a linter pass."""
+
+    code: str
+    message: str
+    location: str
+    severity: Severity = Severity.ERROR
+    hint: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODE_REGISTRY:
+            raise ValueError(f"unregistered diagnostic code: {self.code!r}")
+
+    @property
+    def slug(self) -> str:
+        """The kebab-case name of this diagnostic's code."""
+        return CODE_REGISTRY[self.code][0]
+
+    def render(self) -> str:
+        line = f"{self.severity}: {self.code} [{self.slug}] {self.location}: {self.message}"
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+    def to_dict(self) -> dict[str, str | None]:
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics from one or more passes."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "DiagnosticReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    # ---------------------------------------------------------------- query
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing error-severity was found."""
+        return not self.errors()
+
+    # --------------------------------------------------------------- output
+    def render(self, max_items: int | None = None) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        shown = self.diagnostics[:max_items] if max_items else self.diagnostics
+        lines = [d.render() for d in shown]
+        hidden = len(self.diagnostics) - len(shown)
+        if hidden > 0:
+            lines.append(f"... and {hidden} more")
+        lines.append(
+            f"{len(self.errors())} error(s), {len(self.warnings())} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

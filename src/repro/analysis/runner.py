@@ -1,0 +1,75 @@
+"""Orchestration for ``repro lint``: run every analysis layer in one call.
+
+The runner is what the CLI and the pytest-collected check share.  A *plan*
+run builds the configured dataset's lattice and verifies: lattice structure
+(``PLAN*``), the schema DDL, and a sqlite prepare dry-run of **every**
+rendered node template (``SQL*``).  A *repo* run applies the AST rules
+(``LINT*``) to the source tree.  Results merge into one
+:class:`~repro.analysis.diagnostics.DiagnosticReport`; a nonzero exit means
+at least one error-severity finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.plan_linter import lint_lattice
+from repro.analysis.repo_linter import lint_repo
+from repro.analysis.sql_linter import lint_ddl, lint_lattice_templates
+from repro.core.lattice import Lattice, generate_lattice
+from repro.relational.schema import SchemaGraph
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """What ``repro lint`` should cover."""
+
+    dataset: str = "products"
+    level: int = 3
+    check_plan: bool = True
+    check_repo: bool = True
+    src_root: str | None = None
+
+
+def dataset_schema(name: str) -> SchemaGraph:
+    """The schema graph of a built-in dataset (no data generated)."""
+    if name == "products":
+        from repro.datasets.products import product_schema
+
+        return product_schema()
+    if name == "dblife":
+        from repro.datasets.dblife import dblife_schema
+
+        return dblife_schema()
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def lint_schema_lattice(
+    schema: SchemaGraph, max_joins: int, distinct_slots: bool = True
+) -> DiagnosticReport:
+    """Plan + SQL lint for a freshly generated lattice over ``schema``."""
+    lattice = generate_lattice(schema, max_joins, distinct_slots=distinct_slots)
+    return lint_built_lattice(lattice)
+
+
+def lint_built_lattice(lattice: Lattice) -> DiagnosticReport:
+    """Plan + SQL lint for an already-built lattice."""
+    report = lint_lattice(lattice)
+    report.merge(lint_ddl(lattice.schema))
+    report.merge(lint_lattice_templates(lattice))
+    return report
+
+
+def run_lint(options: LintOptions | None = None) -> DiagnosticReport:
+    """Execute the configured lint layers and merge their findings."""
+    options = options or LintOptions()
+    report = DiagnosticReport()
+    if options.check_repo:
+        src_root = Path(options.src_root) if options.src_root else None
+        report.merge(lint_repo(src_root))
+    if options.check_plan:
+        schema = dataset_schema(options.dataset)
+        report.merge(lint_schema_lattice(schema, max_joins=options.level - 1))
+    return report

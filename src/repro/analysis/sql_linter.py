@@ -1,0 +1,172 @@
+"""Static SQL checks: reserved-identifier scanning and prepare dry-runs.
+
+``SQL001`` scans rendered statements for *bare* reserved words that are not
+part of the fixed grammar the renderers emit (``SELECT``, ``FROM``, ...).
+Because schema names route through
+:func:`repro.relational.identifiers.quote_identifier`, a reserved relation
+or column renders double-quoted; any bare reserved word outside the allowed
+grammar therefore marks a rendering site that bypassed quoting.
+
+``SQL002`` compiles every statement with sqlite's prepare step -- via
+``EXPLAIN`` on a ``:memory:`` database holding the schema's DDL and *no
+data* -- so a template that cannot execute verbatim is a build-time
+diagnostic rather than a runtime failure.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.core.lattice import Lattice
+from repro.relational.identifiers import RESERVED_WORDS
+from repro.relational.sql import render_ddl
+from repro.relational.schema import SchemaGraph
+
+#: Reserved words the SQL renderers legitimately emit bare, as grammar.
+GRAMMAR_KEYWORDS: frozenset[str] = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "AS", "AND", "OR", "LIKE", "LIMIT",
+        "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "NOT", "NULL",
+        "IS", "EXPLAIN",
+    }
+)
+
+_STRING_LITERAL = re.compile(r"'(?:[^']|'')*'")
+_QUOTED_IDENTIFIER = re.compile(r'"(?:[^"]|"")*"')
+_BARE_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _token_match_stub(keyword: object, text: object) -> int:
+    """Prepare-time stand-in for the backend's TOKEN_MATCH function."""
+    return 0
+
+
+def find_unquoted_reserved(sql: str) -> list[str]:
+    """Bare reserved words in ``sql`` that are not grammar keywords.
+
+    String literals and double-quoted identifiers are stripped first, so a
+    properly quoted ``"order"`` never triggers and neither does a keyword
+    inside a LIKE pattern.
+    """
+    stripped = _STRING_LITERAL.sub(" ", sql)
+    stripped = _QUOTED_IDENTIFIER.sub(" ", stripped)
+    offenders = []
+    for word in _BARE_WORD.findall(stripped):
+        upper = word.upper()
+        if upper in RESERVED_WORDS and upper not in GRAMMAR_KEYWORDS:
+            offenders.append(word)
+    return offenders
+
+
+class SqlDryRunner:
+    """Prepare-only SQL validation against a schema with no data loaded."""
+
+    def __init__(self, schema: SchemaGraph):
+        self.schema = schema
+        self.connection = sqlite3.connect(":memory:")
+        # The token-mode predicates call TOKEN_MATCH; sqlite resolves
+        # functions at prepare time, so register a stub for the dry run.
+        self.connection.create_function("TOKEN_MATCH", 2, _token_match_stub)
+        for statement in render_ddl(schema):
+            self.connection.execute(statement)
+
+    def prepare_error(self, sql: str) -> str | None:
+        """The sqlite compile error for ``sql``, or ``None`` if it prepares."""
+        try:
+            # EXPLAIN compiles the statement to bytecode without running it
+            # against any rows -- the closest sqlite3 offers to a bare
+            # prepare() -- and is cheap on an empty database.
+            self.connection.execute(f"EXPLAIN {sql}")
+        except sqlite3.Error as exc:
+            return str(exc)
+        return None
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqlDryRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def lint_statements(
+    statements: Iterable[tuple[str, str]], schema: SchemaGraph
+) -> DiagnosticReport:
+    """Run SQL001 + SQL002 over ``(location, sql)`` pairs."""
+    report = DiagnosticReport()
+    with SqlDryRunner(schema) as runner:
+        for location, sql in statements:
+            for offender in find_unquoted_reserved(sql):
+                report.add(
+                    Diagnostic(
+                        "SQL001",
+                        f"reserved word {offender!r} appears as a bare "
+                        f"identifier",
+                        location,
+                        hint="route identifiers through quote_identifier()",
+                    )
+                )
+            error = runner.prepare_error(sql)
+            if error is not None:
+                report.add(
+                    Diagnostic(
+                        "SQL002",
+                        f"sqlite cannot prepare the statement: {error}",
+                        location,
+                        hint=f"generated SQL was: {sql}",
+                    )
+                )
+    return report
+
+
+def lint_ddl(schema: SchemaGraph) -> DiagnosticReport:
+    """Verify the schema's CREATE TABLE statements on a fresh database."""
+    report = DiagnosticReport()
+    connection = sqlite3.connect(":memory:")
+    try:
+        for index, statement in enumerate(render_ddl(schema)):
+            location = f"ddl statement {index}"
+            for offender in find_unquoted_reserved(statement):
+                report.add(
+                    Diagnostic(
+                        "SQL001",
+                        f"reserved word {offender!r} appears as a bare "
+                        f"identifier",
+                        location,
+                        hint="route identifiers through quote_identifier()",
+                    )
+                )
+            try:
+                connection.execute(statement)
+            except sqlite3.Error as exc:
+                report.add(
+                    Diagnostic(
+                        "SQL002",
+                        f"sqlite rejects the DDL: {exc}",
+                        location,
+                        hint=f"generated SQL was: {statement}",
+                    )
+                )
+    finally:
+        connection.close()
+    return report
+
+
+def lint_lattice_templates(lattice: Lattice) -> DiagnosticReport:
+    """Dry-run every lattice node's SQL template through sqlite's prepare.
+
+    ``?kw`` placeholders live inside string literals, so templates are
+    complete statements; each must compile verbatim (acceptance criterion
+    for the sqlite cross-check backend).
+    """
+
+    def statements() -> Iterable[tuple[str, str]]:
+        for node, template in lattice.iter_templates():
+            yield f"template of lattice node {node.node_id}", template
+
+    return lint_statements(statements(), lattice.schema)

@@ -6,6 +6,7 @@ Subcommands::
     repro search "widom trio" --dataset dblife       # classic KWS-S view
     repro bench fig11 --scale 1 --level 5            # regenerate a figure
     repro inspect --dataset dblife --scale 2         # dataset summary
+    repro lint --dataset dblife --json               # static analysis
 """
 
 from __future__ import annotations
@@ -119,6 +120,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintOptions, run_lint
+
+    report = run_lint(
+        LintOptions(
+            dataset=args.dataset,
+            level=args.level,
+            check_plan=not args.no_plan,
+            check_repo=not args.no_repo,
+        )
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     database = _load_database(args)
     print(database.summary())
@@ -192,6 +211,44 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser("inspect", help="summarize a dataset")
     _add_dataset_options(inspect)
     inspect.set_defaults(func=_cmd_inspect)
+
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis: plan/lattice/SQL diagnostics plus repo AST lint",
+        description=(
+            "Verify the pipeline's structural invariants without running a "
+            "query: lattice nodes must be connected FK-backed trees with "
+            "valid keyword slots (PLAN001-PLAN007), every rendered SQL "
+            "template must pass a sqlite prepare-only dry run with "
+            "identifiers correctly quoted (SQL001-SQL002), and the source "
+            "tree must respect the determinism/typing rules benchmarks rely "
+            "on (LINT001-LINT003).  Exits nonzero if anything error-severity "
+            "is found."
+        ),
+    )
+    lint.add_argument(
+        "--dataset",
+        choices=("products", "dblife"),
+        default="products",
+        help="dataset whose schema/lattice to lint (default: products)",
+    )
+    lint.add_argument(
+        "--level", type=int, default=3, help="lattice levels (= max joins + 1)"
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable diagnostics"
+    )
+    lint.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="skip the plan/lattice/SQL layer",
+    )
+    lint.add_argument(
+        "--no-repo",
+        action="store_true",
+        help="skip the repo AST layer",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

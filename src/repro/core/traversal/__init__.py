@@ -34,7 +34,7 @@ _STRATEGIES = {
 STRATEGY_NAMES = tuple(_STRATEGIES)
 
 
-def get_strategy(name: str, **kwargs) -> TraversalStrategy:
+def get_strategy(name: str, **kwargs: object) -> TraversalStrategy:
     """Instantiate a traversal strategy by its paper acronym."""
     try:
         cls = _STRATEGIES[name.lower()]

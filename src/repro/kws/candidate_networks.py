@@ -64,6 +64,42 @@ def _grow(
                 )
 
 
+def network_violations(
+    tree: JoinTree, bound: frozenset[RelationInstance]
+) -> list[str]:
+    """Why ``tree`` is not a minimal candidate network for ``bound``.
+
+    Introspection hook shared by the enumeration filter below and the
+    static plan linter (``repro.analysis``); an empty list means the tree
+    satisfies both CN invariants (totality and minimality).
+    """
+    problems = []
+    missing = bound - tree.instances
+    if missing:
+        described = ", ".join(str(instance) for instance in sorted(missing))
+        problems.append(f"missing bound copies: {described}")
+    extra_bound = [
+        instance
+        for instance in tree.sorted_instances()
+        if not instance.is_free and instance not in bound
+    ]
+    if extra_bound:
+        described = ", ".join(str(instance) for instance in extra_bound)
+        problems.append(f"keyword slots outside the interpretation: {described}")
+    free_leaves = [leaf for leaf in tree.leaves() if leaf not in bound]
+    if free_leaves:
+        described = ", ".join(str(leaf) for leaf in free_leaves)
+        problems.append(f"free leaves: {described}")
+    return problems
+
+
+def is_candidate_network(
+    tree: JoinTree, bound: frozenset[RelationInstance]
+) -> bool:
+    """True when ``tree`` is a minimal total join network for ``bound``."""
+    return not network_violations(tree, bound)
+
+
 def enumerate_candidate_networks(
     schema: SchemaGraph,
     binding: KeywordBinding,
@@ -80,11 +116,5 @@ def enumerate_candidate_networks(
     anchor = sorted(bound)[0]
     _grow(JoinTree.single(anchor), schema, frozenset(bound), free_copies,
           max_size, seen)
-    networks = []
-    for tree in seen:
-        if not bound <= tree.instances:
-            continue
-        if any(leaf not in bound for leaf in tree.leaves()):
-            continue
-        networks.append(tree)
+    networks = [tree for tree in seen if is_candidate_network(tree, bound)]
     return sorted(networks, key=lambda t: (t.size, t.describe()))

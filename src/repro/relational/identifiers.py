@@ -1,0 +1,56 @@
+"""SQL identifier quoting shared by every SQL-rendering site.
+
+Relations or columns named with reserved words (``order``, ``group``,
+``index``, ...) are legal schema names but must be double-quoted to
+survive the sqlite backend.  Quoting is applied *only when needed* so that
+the common case renders the same readable SQL as before; the static
+analyzer's ``SQL001`` pass verifies no rendering site forgets to route
+identifiers through :func:`quote_identifier`.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: SQLite's reserved keywords (https://sqlite.org/lang_keywords.html).
+#: A superset is harmless -- quoting a non-reserved identifier is always
+#: valid SQL -- so the list errs on the side of inclusion.
+RESERVED_WORDS: frozenset[str] = frozenset(
+    """
+    ABORT ACTION ADD AFTER ALL ALTER ALWAYS ANALYZE AND AS ASC ATTACH
+    AUTOINCREMENT BEFORE BEGIN BETWEEN BY CASCADE CASE CAST CHECK COLLATE
+    COLUMN COMMIT CONFLICT CONSTRAINT CREATE CROSS CURRENT CURRENT_DATE
+    CURRENT_TIME CURRENT_TIMESTAMP DATABASE DEFAULT DEFERRABLE DEFERRED
+    DELETE DESC DETACH DISTINCT DO DROP EACH ELSE END ESCAPE EXCEPT
+    EXCLUDE EXCLUSIVE EXISTS EXPLAIN FAIL FILTER FIRST FOLLOWING FOR
+    FOREIGN FROM FULL GENERATED GLOB GROUP GROUPS HAVING IF IGNORE
+    IMMEDIATE IN INDEX INDEXED INITIALLY INNER INSERT INSTEAD INTERSECT
+    INTO IS ISNULL JOIN KEY LAST LEFT LIKE LIMIT MATCH MATERIALIZED
+    NATURAL NO NOT NOTHING NOTNULL NULL NULLS OF OFFSET ON OR ORDER
+    OTHERS OUTER OVER PARTITION PLAN PRAGMA PRECEDING PRIMARY QUERY
+    RAISE RANGE RECURSIVE REFERENCES REGEXP REINDEX RELEASE RENAME
+    REPLACE RESTRICT RETURNING RIGHT ROLLBACK ROW ROWS SAVEPOINT SELECT
+    SET TABLE TEMP TEMPORARY THEN TIES TO TRANSACTION TRIGGER UNBOUNDED
+    UNION UNIQUE UPDATE USING VACUUM VALUES VIEW VIRTUAL WHEN WHERE
+    WINDOW WITH WITHOUT
+    """.split()
+)
+
+_PLAIN_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def is_reserved(name: str) -> bool:
+    """True if ``name`` collides with a SQL keyword (case-insensitive)."""
+    return name.upper() in RESERVED_WORDS
+
+
+def needs_quoting(name: str) -> bool:
+    """True if ``name`` cannot appear as a bare SQL identifier."""
+    return is_reserved(name) or not _PLAIN_IDENTIFIER.match(name)
+
+
+def quote_identifier(name: str) -> str:
+    """``name`` as a safe SQL identifier, double-quoted only when needed."""
+    if needs_quoting(name):
+        return '"' + name.replace('"', '""') + '"'
+    return name

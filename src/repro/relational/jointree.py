@@ -150,7 +150,7 @@ class JoinTree:
     instances: frozenset[RelationInstance]
     edges: frozenset[JoinEdge]
     _adjacency: Mapping[RelationInstance, tuple[JoinEdge, ...]] = field(
-        default=None, repr=False, compare=False, hash=False
+        default=None, repr=False, compare=False, hash=False  # type: ignore[assignment]
     )
 
     def __post_init__(self) -> None:

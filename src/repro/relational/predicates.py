@@ -86,15 +86,19 @@ class KeywordPredicate:
         """
         if not columns:
             return "0 = 1"
+        from repro.relational.identifiers import quote_identifier
+
         escaped = self.keyword.replace("'", "''")
+        quoted_alias = quote_identifier(alias)
+        quoted = [quote_identifier(column) for column in columns]
         if self.mode is MatchMode.SUBSTRING:
             parts = [
-                f"LOWER({alias}.{column}) LIKE '%{escaped.lower()}%'"
-                for column in columns
+                f"LOWER({quoted_alias}.{column}) LIKE '%{escaped.lower()}%'"
+                for column in quoted
             ]
         else:
             parts = [
-                f"TOKEN_MATCH('{escaped.lower()}', {alias}.{column})"
-                for column in columns
+                f"TOKEN_MATCH('{escaped.lower()}', {quoted_alias}.{column})"
+                for column in quoted
             ]
         return "(" + " OR ".join(parts) + ")"

@@ -261,6 +261,14 @@ class SchemaGraph:
         self._ensure_frozen()
         return self._edge_ids[name]
 
+    def column_type(self, relation: str, column: str) -> AttributeType:
+        """Declared type of ``relation.column`` (introspection hook).
+
+        Raises :class:`SchemaError` for unknown relations or columns, which
+        the static plan linter maps to a dangling-edge diagnostic.
+        """
+        return self.relation(relation).attribute(column).type
+
     def searchable_relations(self) -> tuple[str, ...]:
         """Names of relations with at least one searchable text attribute."""
         return tuple(

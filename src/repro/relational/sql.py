@@ -9,6 +9,7 @@ engine.
 
 from __future__ import annotations
 
+from repro.relational.identifiers import quote_identifier
 from repro.relational.jointree import BoundQuery, JoinTree
 from repro.relational.predicates import KeywordPredicate
 from repro.relational.schema import SchemaGraph
@@ -18,7 +19,7 @@ KEYWORD_PLACEHOLDER = "?kw"
 
 def _from_clause(tree: JoinTree) -> str:
     parts = [
-        f"{instance.relation} AS {instance.alias}"
+        f"{quote_identifier(instance.relation)} AS {quote_identifier(instance.alias)}"
         for instance in tree.sorted_instances()
     ]
     return ", ".join(parts)
@@ -28,7 +29,9 @@ def _join_conditions(tree: JoinTree) -> list[str]:
     conditions = []
     for edge in sorted(tree.edges, key=lambda e: (e.a, e.a_column, e.b, e.b_column)):
         conditions.append(
-            f"{edge.a.alias}.{edge.a_column} = {edge.b.alias}.{edge.b_column}"
+            f"{quote_identifier(edge.a.alias)}.{quote_identifier(edge.a_column)}"
+            f" = "
+            f"{quote_identifier(edge.b.alias)}.{quote_identifier(edge.b_column)}"
         )
     return conditions
 
@@ -47,8 +50,10 @@ def render_template(tree: JoinTree, schema: SchemaGraph) -> str:
         columns = tuple(a.name for a in relation.text_attributes)
         if not columns:
             continue
+        alias = quote_identifier(instance.alias)
         likes = " OR ".join(
-            f"LOWER({instance.alias}.{column}) LIKE '%{KEYWORD_PLACEHOLDER}%'"
+            f"LOWER({alias}.{quote_identifier(column)}) "
+            f"LIKE '%{KEYWORD_PLACEHOLDER}%'"
             for column in columns
         )
         conditions.append(f"({likes})")
@@ -93,8 +98,10 @@ def render_ddl(schema: SchemaGraph) -> list[str]:
     statements = []
     for relation in schema.iter_relations():
         columns = ", ".join(
-            f"{attribute.name} {attribute.type.sql_name}"
+            f"{quote_identifier(attribute.name)} {attribute.type.sql_name}"
             for attribute in relation.attributes
         )
-        statements.append(f"CREATE TABLE {relation.name} ({columns})")
+        statements.append(
+            f"CREATE TABLE {quote_identifier(relation.name)} ({columns})"
+        )
     return statements

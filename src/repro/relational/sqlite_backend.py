@@ -12,6 +12,7 @@ import sqlite3
 from typing import Any
 
 from repro.relational.database import Database
+from repro.relational.identifiers import quote_identifier
 from repro.relational.jointree import BoundQuery
 from repro.relational.predicates import MatchMode, cell_matches
 from repro.relational.sql import render_ddl, render_existence_check, render_sql
@@ -43,7 +44,8 @@ class SqliteEngine:
                 continue
             placeholders = ", ".join("?" for _ in table.relation.attributes)
             cursor.executemany(
-                f"INSERT INTO {table.relation.name} VALUES ({placeholders})",
+                f"INSERT INTO {quote_identifier(table.relation.name)} "
+                f"VALUES ({placeholders})",
                 list(table),
             )
         self.connection.commit()

@@ -77,3 +77,50 @@ class TestCommands:
             ["debug", "saffron scented candle", "--direct", "--free-copies", "2"]
         ) == 0
         assert "answer queries" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_lint_clean_repo_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_lint_json_output(self, capsys):
+        import json
+
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+
+    def test_lint_dblife_lattice(self, capsys):
+        assert main(["lint", "--dataset", "dblife", "--no-repo"]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_lint_layers_can_be_skipped(self, capsys):
+        assert main(["lint", "--no-plan", "--no-repo"]) == 0
+        capsys.readouterr()
+
+    def test_lint_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "lint" in capsys.readouterr().out
+
+    def test_lint_corrupted_lattice_exits_nonzero_with_code(
+        self, capsys, monkeypatch
+    ):
+        import json
+
+        import repro.analysis.runner as runner
+        from repro.core.lattice import generate_lattice
+
+        def corrupt_lattice(schema, max_joins, **kwargs):
+            lattice = generate_lattice(schema, max_joins, **kwargs)
+            victim = next(n for n in lattice.iter_nodes() if n.parents)
+            lattice.node(victim.parents[0]).children.remove(victim.node_id)
+            return lattice
+
+        monkeypatch.setattr(runner, "generate_lattice", corrupt_lattice)
+        assert main(["lint", "--json", "--no-repo"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert "PLAN007" in {d["code"] for d in payload["diagnostics"]}

@@ -1,0 +1,98 @@
+"""The repo AST linter: rule units plus the pytest-collected clean check."""
+
+from pathlib import Path
+
+from repro.analysis.repo_linter import lint_repo, lint_source
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+
+def codes(source, relative="repro/core/example.py"):
+    return [d.code for d in lint_source(source, relative)]
+
+
+class TestNondeterministicCall:
+    def test_time_time_flagged(self):
+        source = "import time\n\ndef f() -> float:\n    return time.time()\n"
+        assert "LINT001" in codes(source)
+
+    def test_perf_counter_allowed(self):
+        source = (
+            "import time\n\ndef f() -> float:\n    return time.perf_counter()\n"
+        )
+        assert "LINT001" not in codes(source)
+
+    def test_global_random_flagged(self):
+        source = "import random\n\ndef f() -> int:\n    return random.randint(0, 9)\n"
+        assert "LINT001" in codes(source)
+
+    def test_seeded_random_instance_allowed(self):
+        source = "import random\n\nrng = random.Random(42)\n"
+        assert "LINT001" not in codes(source)
+
+    def test_from_time_import_time_flagged(self):
+        assert "LINT001" in codes("from time import time\n")
+
+    def test_from_random_import_flagged(self):
+        assert "LINT001" in codes("from random import choice\n")
+        assert "LINT001" not in codes("from random import Random\n")
+
+    def test_datetime_now_flagged(self):
+        source = "import datetime\n\nstamp = datetime.datetime.now()\n"
+        assert "LINT001" in codes(source)
+
+    def test_bench_package_exempt(self):
+        source = "import time\n\ndef f() -> float:\n    return time.time()\n"
+        assert "LINT001" not in codes(source, relative="repro/bench/tables.py")
+
+
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        assert "LINT002" in codes("def f(items=[]) -> None:\n    pass\n")
+
+    def test_dict_constructor_flagged(self):
+        assert "LINT002" in codes("def f(table=dict()) -> None:\n    pass\n")
+
+    def test_kwonly_default_flagged(self):
+        assert "LINT002" in codes("def f(*, items={}) -> None:\n    pass\n")
+
+    def test_none_default_allowed(self):
+        assert "LINT002" not in codes("def f(items=None) -> None:\n    pass\n")
+
+    def test_tuple_default_allowed(self):
+        assert "LINT002" not in codes("def f(items=()) -> None:\n    pass\n")
+
+
+class TestMissingAnnotation:
+    def test_unannotated_public_function_flagged(self):
+        assert "LINT003" in codes("def f(x):\n    return x\n")
+
+    def test_missing_return_flagged(self):
+        assert "LINT003" in codes("def f(x: int):\n    return x\n")
+
+    def test_private_function_exempt(self):
+        assert "LINT003" not in codes("def _f(x):\n    return x\n")
+
+    def test_self_exempt_in_methods(self):
+        source = (
+            "class C:\n"
+            "    def method(self, x: int) -> int:\n"
+            "        return x\n"
+        )
+        assert "LINT003" not in codes(source)
+
+    def test_only_core_and_relational_packages_checked(self):
+        source = "def f(x):\n    return x\n"
+        assert "LINT003" not in codes(source, relative="repro/bench/example.py")
+        assert "LINT003" in codes(source, relative="repro/relational/example.py")
+
+    def test_unannotated_kwargs_flagged(self):
+        source = "def f(**kwargs):\n    return kwargs\n"
+        assert "LINT003" in codes(source)
+
+
+def test_repo_is_lint_clean():
+    """The CI gate: the shipped source tree has zero repo-lint findings."""
+    report = lint_repo(SRC_ROOT)
+    assert report.ok, "\n" + report.render()
+    assert len(report) == 0, "\n" + report.render()
