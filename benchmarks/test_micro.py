@@ -24,12 +24,11 @@ def test_aliveness_probe_memory(benchmark, context, prepared_q8):
 
 def test_aliveness_probe_sqlite(benchmark, context, prepared_q8):
     """The same probe as real SQL on sqlite3 (LIMIT 1 existence check)."""
-    engine = SqliteEngine(context.database)
     mtn = prepared_q8.graph.mtns()[0]
 
-    result = benchmark(lambda: engine.is_alive(mtn.query))
+    with SqliteEngine(context.database) as engine:
+        result = benchmark(lambda: engine.is_alive(mtn.query))
     assert result in (True, False)
-    engine.close()
 
 
 def test_canonical_labeling(benchmark, context, prepared_q8):

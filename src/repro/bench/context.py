@@ -19,6 +19,7 @@ from repro.core.mtn import ExplorationGraph
 from repro.core.traversal import TraversalResult, get_strategy
 from repro.datasets.dblife import DBLifeConfig, dblife_database
 from repro.index.mapper import KeywordMapping
+from repro.obs.trace import ProbeTracer
 from repro.relational.database import Database
 from repro.relational.predicates import MatchMode
 from repro.workloads.queries import TABLE2_QUERIES, WorkloadQuery
@@ -67,6 +68,9 @@ class BenchContext:
     config: DBLifeConfig = field(default_factory=DBLifeConfig)
     mode: MatchMode = MatchMode.TOKEN
     max_keywords: int = WORKLOAD_MAX_KEYWORDS
+    #: Optional span recorder; when set, every Phase-3 probe run through
+    #: this context emits one trace span (see ``repro bench --trace``).
+    tracer: ProbeTracer | None = None
     _database: Database | None = None
     _lattices: dict[int, Lattice] = field(default_factory=dict)
     _debuggers: dict[int, NonAnswerDebugger] = field(default_factory=dict)
@@ -151,7 +155,7 @@ class BenchContext:
             prepared = self.prepare(level, query)
             strategy = get_strategy(strategy_name, **kwargs)
             evaluator = self.debugger(level).make_evaluator(
-                use_cache=strategy.uses_reuse
+                use_cache=strategy.uses_reuse, tracer=self.tracer
             )
             self._results[key] = strategy.run(
                 prepared.graph, evaluator, self.database

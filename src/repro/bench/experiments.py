@@ -410,7 +410,13 @@ EXPERIMENTS = {
 
 
 def run_experiment(name: str, context: BenchContext | None = None, **kwargs) -> TextTable:
-    """Run one named experiment (the CLI entry point)."""
+    """Run one named experiment (the CLI entry point).
+
+    When the context carries a :class:`~repro.obs.trace.ProbeTracer`, the
+    figure run is bracketed by ``experiment_start``/``experiment_end``
+    events and every probe underneath emits a span, so the run leaves a
+    machine-readable trace behind alongside the rendered table.
+    """
     if name == "scaling":
         return scaling(**kwargs)
     try:
@@ -420,4 +426,15 @@ def run_experiment(name: str, context: BenchContext | None = None, **kwargs) -> 
             f"unknown experiment {name!r}; choose from "
             f"{sorted(EXPERIMENTS) + ['scaling']}"
         ) from None
-    return runner(context or BenchContext(), **kwargs)
+    context = context or BenchContext()
+    if context.tracer is not None:
+        context.tracer.record_event("experiment_start", experiment=name)
+    table = runner(context, **kwargs)
+    if context.tracer is not None:
+        context.tracer.record_event(
+            "experiment_end",
+            experiment=name,
+            spans=context.tracer.span_count,
+            executed=context.tracer.executed_span_count,
+        )
+    return table

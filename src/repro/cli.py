@@ -4,6 +4,7 @@ Subcommands::
 
     repro debug "saffron scented candle" --dataset products
     repro search "widom trio" --dataset dblife       # classic KWS-S view
+    repro trace "red candle" --budget-queries 50     # JSON-lines probe trace
     repro bench fig11 --scale 1 --level 5            # regenerate a figure
     repro inspect --dataset dblife --scale 2         # dataset summary
     repro lint --dataset dblife --json               # static analysis
@@ -21,7 +22,10 @@ from repro.core.debugger import NonAnswerDebugger
 from repro.datasets.dblife import DBLifeConfig, dblife_database
 from repro.datasets.products import product_database
 from repro.kws.discover import ClassicKWSSystem
+from repro.obs import ProbeBudget, ProbeTracer, validate_trace_record
 from repro.relational.predicates import MatchMode
+
+STRATEGY_CHOICES = ("bu", "td", "buwr", "tdwr", "sbh")
 
 
 def _load_database(args: argparse.Namespace):
@@ -101,8 +105,85 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_budget(args: argparse.Namespace) -> ProbeBudget | None:
+    if not (args.budget_queries or args.budget_simulated or args.budget_wall):
+        return None
+    return ProbeBudget(
+        max_queries=args.budget_queries or None,
+        max_simulated_seconds=args.budget_simulated or None,
+        max_wall_seconds=args.budget_wall or None,
+    )
+
+
+def _render_aggregates(tracer: ProbeTracer) -> str:
+    from repro.bench.tables import TextTable
+
+    blocks = []
+    for key, title in (
+        ("level", "Probe spans by lattice level"),
+        ("strategy", "Probe spans by traversal strategy"),
+    ):
+        rows = tracer.aggregate(key)
+        if not rows:
+            continue
+        table = TextTable(
+            title,
+            [key, "probes", "executed", "cache hits", "wall s", "simulated s"],
+        )
+        for row in rows:
+            table.add_row(
+                row[key],
+                row["probes"],
+                row["executed"],
+                row["cache_hits"],
+                row["wall_seconds"],
+                row["simulated_seconds"],
+            )
+        blocks.append(table.render())
+    return "\n\n".join(blocks)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    database = _load_database(args)
+    tracer = ProbeTracer()
+    budget = _make_budget(args)
+    debugger = NonAnswerDebugger(
+        database,
+        max_joins=args.level - 1,
+        mode=MatchMode(args.match),
+        strategy=args.strategy,
+        use_lattice=not args.direct,
+        tracer=tracer,
+    )
+    report = debugger.debug(args.query, budget=budget)
+    for record in tracer.records:
+        validate_trace_record(record.to_dict())
+    lines = tracer.to_jsonl()
+    if args.output:
+        count = tracer.write_jsonl(args.output)
+        print(f"wrote {count} trace records to {args.output}")
+    elif lines:
+        print(lines)
+    status = (
+        f"trace: {tracer.span_count} spans "
+        f"({tracer.executed_span_count} executed, "
+        f"{tracer.span_count - tracer.executed_span_count} cache hits), "
+        f"{len(tracer.events)} events, {tracer.dropped} dropped"
+    )
+    if report.exhausted:
+        status += "; probe budget exhausted (partial result)"
+    print(status, file=sys.stderr)
+    if args.summary:
+        summary = _render_aggregates(tracer)
+        if summary:
+            print(summary, file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     context = BenchContext.create(scale=args.scale, seed=args.seed)
+    if args.trace:
+        context.tracer = ProbeTracer()
     kwargs = {}
     if args.level:
         if args.experiment in ("fig9a", "fig9b"):
@@ -117,6 +198,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     table = run_experiment(args.experiment, context, **kwargs)
     print(table.render())
     print(f"(ran in {time.perf_counter() - started:.1f} s)")
+    if args.trace and context.tracer is not None:
+        count = context.tracer.write_jsonl(args.trace)
+        print(f"(wrote {count} trace records to {args.trace})")
     return 0
 
 
@@ -163,7 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_options(debug)
     debug.add_argument(
         "--strategy",
-        choices=("bu", "td", "buwr", "tdwr", "sbh"),
+        choices=STRATEGY_CHOICES,
         default="sbh",
         help="lattice traversal strategy",
     )
@@ -199,6 +283,62 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_options(search)
     search.set_defaults(func=_cmd_search)
 
+    trace = commands.add_parser(
+        "trace",
+        help="run a query and emit a JSON-lines probe trace",
+        description=(
+            "Run the debugging pipeline with the structured tracer attached: "
+            "every aliveness probe becomes one JSON span (lattice level, "
+            "keywords, backend, wall + simulated cost, cache hit/miss, "
+            "remaining budget), budget refusals and sweep boundaries become "
+            "events.  JSON-lines go to stdout (or --output); status and "
+            "--summary tables go to stderr so stdout stays machine-readable."
+        ),
+    )
+    trace.add_argument("query", help="keyword query to trace")
+    _add_dataset_options(trace)
+    trace.add_argument(
+        "--strategy",
+        choices=STRATEGY_CHOICES,
+        default="sbh",
+        help="lattice traversal strategy",
+    )
+    trace.add_argument(
+        "--direct",
+        action="store_true",
+        help="skip Phase 0 and generate the pruned lattice per query",
+    )
+    trace.add_argument(
+        "--budget-queries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N executed probes (0 = unlimited)",
+    )
+    trace.add_argument(
+        "--budget-simulated",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="deadline in simulated (cost-model) seconds (0 = unlimited)",
+    )
+    trace.add_argument(
+        "--budget-wall",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="deadline in measured backend seconds (0 = unlimited)",
+    )
+    trace.add_argument(
+        "--output", metavar="PATH", help="write the JSON-lines trace here"
+    )
+    trace.add_argument(
+        "--summary",
+        action="store_true",
+        help="print per-level / per-strategy aggregation tables (stderr)",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
     bench = commands.add_parser("bench", help="regenerate a paper table/figure")
     bench.add_argument(
         "experiment", choices=sorted(EXPERIMENTS) + ["scaling"],
@@ -206,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale", type=int, default=1)
     bench.add_argument("--seed", type=int, default=42)
     bench.add_argument("--level", type=int, default=0, help="override lattice level")
+    bench.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record every probe and write a JSON-lines trace here",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     inspect = commands.add_parser("inspect", help="summarize a dataset")

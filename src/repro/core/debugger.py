@@ -25,6 +25,8 @@ from repro.core.mtn import ExplorationGraph, build_exploration_graph
 from repro.core.traversal import TraversalResult, TraversalStrategy, get_strategy
 from repro.index.inverted import InvertedIndex
 from repro.index.mapper import KeywordMapper, KeywordMapping
+from repro.obs.budget import ProbeBudget
+from repro.obs.trace import ProbeTracer
 from repro.relational.database import Database
 from repro.relational.engine import InMemoryEngine
 from repro.relational.evaluator import InstrumentedEvaluator, QueryCostModel
@@ -68,6 +70,11 @@ class DebugReport:
     def aborted(self) -> bool:
         """True when some keyword occurs nowhere ("and" semantics, §2.3)."""
         return not self.mapping.complete
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the probe budget bound and the traversal is partial."""
+        return bool(self.traversal and self.traversal.exhausted)
 
     @property
     def mtn_count(self) -> int:
@@ -146,6 +153,12 @@ class DebugReport:
                 lines.append(f"        maximal alive sub-query: {mpan.describe()}")
         if len(explanations) > max_items:
             lines.append(f"    ... and {len(explanations) - max_items} more")
+        if self.exhausted and self.traversal:
+            unclassified = len(self.traversal.unclassified_mtns)
+            lines.append(
+                f"  probe budget exhausted: partial result, "
+                f"{unclassified} candidate network(s) left possibly-alive"
+            )
         if self.traversal:
             lines.append(f"  SQL effort: {self.traversal.stats}")
         return "\n".join(lines)
@@ -167,6 +180,7 @@ class NonAnswerDebugger:
         max_keywords: int | None = None,
         free_copies: int = 1,
         max_interpretations: int = 256,
+        tracer: ProbeTracer | None = None,
     ):
         """Build the offline artifacts for ``database``.
 
@@ -182,6 +196,9 @@ class NonAnswerDebugger:
         self.schema = database.schema
         self.mode = mode
         self.cost_model = cost_model
+        # Default tracer stamped onto every evaluator this debugger makes;
+        # one tracer can accumulate spans across many queries/strategies.
+        self.tracer = tracer
         self.index = InvertedIndex(database)
         self.mapper = KeywordMapper(
             self.index, mode=mode, max_interpretations=max_interpretations
@@ -215,11 +232,20 @@ class NonAnswerDebugger:
             raise ValueError(f"unknown backend {backend!r}; use 'memory' or 'sqlite'")
 
     # ------------------------------------------------------------- pipeline
-    def make_evaluator(self, use_cache: bool | None = None) -> InstrumentedEvaluator:
+    def make_evaluator(
+        self,
+        use_cache: bool | None = None,
+        budget: ProbeBudget | None = None,
+        tracer: ProbeTracer | None = None,
+    ) -> InstrumentedEvaluator:
         if use_cache is None:
             use_cache = self.strategy.uses_reuse
         return InstrumentedEvaluator(
-            self.backend, cost_model=self.cost_model, use_cache=use_cache
+            self.backend,
+            cost_model=self.cost_model,
+            use_cache=use_cache,
+            budget=budget,
+            tracer=tracer if tracer is not None else self.tracer,
         )
 
     def map_keywords(self, query: str) -> KeywordMapping:
@@ -254,8 +280,15 @@ class NonAnswerDebugger:
         strategy: str | TraversalStrategy | None = None,
         evaluator: InstrumentedEvaluator | None = None,
         constraints: SearchConstraints = UNCONSTRAINED,
+        budget: ProbeBudget | None = None,
     ) -> DebugReport:
-        """Run phases 1-3 for ``query`` and explain its non-answers."""
+        """Run phases 1-3 for ``query`` and explain its non-answers.
+
+        With a ``budget`` the traversal stops cleanly when the probe cap is
+        reached and the report is partial (``report.exhausted``): every
+        classification present matches an unbudgeted run, the rest stays
+        possibly-alive.
+        """
         chosen = self.strategy
         if strategy is not None:
             chosen = (
@@ -281,13 +314,27 @@ class NonAnswerDebugger:
         timings.mtn_discovery = time.perf_counter() - started
 
         if evaluator is None:
-            evaluator = self.make_evaluator(use_cache=chosen.uses_reuse)
+            evaluator = self.make_evaluator(use_cache=chosen.uses_reuse, budget=budget)
+        elif budget is not None and evaluator.budget is None:
+            evaluator.budget = budget
         started = time.perf_counter()
         report.traversal = chosen.run(report.graph, evaluator, self.database)
         timings.traversal = time.perf_counter() - started
         return report
 
     # ------------------------------------------------------------ utilities
+    def close(self) -> None:
+        """Release backend resources (the sqlite connection, if any)."""
+        closer = getattr(self.backend, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "NonAnswerDebugger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def witnesses(self, query: BoundQuery, limit: int = 5) -> list[dict]:
         """Sample result tuples of a (sub-)query, for display purposes."""
         if isinstance(self.backend, InMemoryEngine):

@@ -27,6 +27,8 @@ from repro.core.constraints import UNCONSTRAINED, SearchConstraints
 from repro.core.debugger import NonAnswerDebugger
 from repro.core.status import Status, StatusStore
 from repro.core.traversal.base import seed_base_levels
+from repro.obs.budget import ProbeBudget, ProbeBudgetExhausted
+from repro.obs.trace import ProbeTracer
 from repro.relational.jointree import BoundQuery
 
 
@@ -61,6 +63,8 @@ class DebugSession:
         debugger: NonAnswerDebugger,
         query: str,
         constraints: SearchConstraints = UNCONSTRAINED,
+        budget: ProbeBudget | None = None,
+        tracer: ProbeTracer | None = None,
     ):
         self.debugger = debugger
         self.query = query
@@ -72,11 +76,17 @@ class DebugSession:
             )
         self.mapping = mapping
         self.graph = debugger.build_graph(debugger.prune(mapping), constraints)
-        self.evaluator = debugger.make_evaluator(use_cache=True)
+        self.budget = budget
+        self.evaluator = debugger.make_evaluator(
+            use_cache=True, budget=budget, tracer=tracer
+        )
         self.store = StatusStore(self.graph)
         seed_base_levels(self.graph, self.store, debugger.database)
         self._dismissed: set[int] = set()
         self._explained: dict[int, list[int]] = {}
+        # Flipped when the budget refuses a probe; every action after that
+        # degrades to "report what is already known" instead of failing.
+        self.exhausted = False
 
     # -------------------------------------------------------------- reading
     def overview(self) -> list[MtnView]:
@@ -100,10 +110,11 @@ class DebugSession:
             for mtn_index in self.graph.mtn_indexes
             if self.store.is_known(mtn_index)
         )
+        suffix = " [budget exhausted]" if self.exhausted else ""
         return (
             f"{classified}/{len(self.graph.mtn_indexes)} candidate networks "
             f"classified, {len(self._explained)} explained, "
-            f"{len(self._dismissed)} dismissed; {self.evaluator.stats}"
+            f"{len(self._dismissed)} dismissed; {self.evaluator.stats}{suffix}"
         )
 
     def _mtn_index(self, position: int) -> int:
@@ -120,11 +131,17 @@ class DebugSession:
         """Classify one candidate network with the least possible work.
 
         Costs one SQL query unless its status is already implied by earlier
-        answers (shared store) or by the evaluation cache.
+        answers (shared store) or by the evaluation cache.  When the probe
+        budget is exhausted the candidate stays ``POSSIBLY_ALIVE`` and the
+        session is flagged :attr:`exhausted` instead of raising.
         """
         mtn_index = self._mtn_index(position)
         if not self.store.is_known(mtn_index):
-            alive = self.evaluator.is_alive(self.graph.node(mtn_index).query)
+            try:
+                alive = self.evaluator.is_alive(self.graph.node(mtn_index).query)
+            except ProbeBudgetExhausted:
+                self.exhausted = True
+                return self.store.status(mtn_index)
             self.store.record(mtn_index, alive)
         return self.store.status(mtn_index)
 
@@ -134,21 +151,30 @@ class DebugSession:
         Alive candidates have no explanation (they *are* answers) and return
         an empty list.  The resolution sweeps the candidate's descendants
         top-down through the shared store, so overlapping spaces of other
-        candidates get classified for free.
+        candidates get classified for free.  If the probe budget runs out
+        mid-resolution the partial knowledge is kept in the shared store,
+        nothing is cached as "explained", and an empty list is returned --
+        a later call with a fresh budget picks up where this one stopped.
         """
         mtn_index = self._mtn_index(position)
-        if self.classify(position) is Status.ALIVE:
+        if self.classify(position) is not Status.DEAD:
             return []
         if mtn_index not in self._explained:
             domain = self.graph.desc_plus(mtn_index)
-            for level in range(self.graph.node(mtn_index).level - 1, 0, -1):
-                unknown = self.store.unknown_mask & domain
-                if not unknown:
-                    break
-                for index in self.graph.level_indexes(level):
-                    if (unknown >> index) & 1 and not self.store.is_known(index):
-                        alive = self.evaluator.is_alive(self.graph.node(index).query)
-                        self.store.record(index, alive)
+            try:
+                for level in range(self.graph.node(mtn_index).level - 1, 0, -1):
+                    unknown = self.store.unknown_mask & domain
+                    if not unknown:
+                        break
+                    for index in self.graph.level_indexes(level):
+                        if (unknown >> index) & 1 and not self.store.is_known(index):
+                            alive = self.evaluator.is_alive(
+                                self.graph.node(index).query
+                            )
+                            self.store.record(index, alive)
+            except ProbeBudgetExhausted:
+                self.exhausted = True
+                return []
             self._explained[mtn_index] = self.store.mpans_of(mtn_index)
         return [
             self.graph.node(index).query for index in self._explained[mtn_index]
@@ -159,12 +185,21 @@ class DebugSession:
         self._dismissed.add(self._mtn_index(position))
 
     def explain_all(self) -> dict[int, list[BoundQuery]]:
-        """Explain every non-dismissed candidate network."""
+        """Explain every non-dismissed candidate network.
+
+        Stops early (with whatever was completed) once the probe budget is
+        exhausted; :attr:`exhausted` tells the caller the dict is partial.
+        """
         explanations = {}
         for position, mtn_index in enumerate(self.graph.mtn_indexes):
             if mtn_index in self._dismissed:
                 continue
+            if self.exhausted:
+                break
             mpans = self.explain(position)
-            if self.store.status(mtn_index) is Status.DEAD:
+            if (
+                self.store.status(mtn_index) is Status.DEAD
+                and mtn_index in self._explained
+            ):
                 explanations[position] = mpans
         return explanations

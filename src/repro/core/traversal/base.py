@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 
 from repro.core.mtn import ExplorationGraph
 from repro.core.status import StatusStore
+from repro.obs.budget import ProbeBudgetExhausted
 from repro.relational.database import Database
 from repro.relational.evaluator import EvaluationStats, InstrumentedEvaluator
 from repro.relational.jointree import BoundQuery
@@ -15,7 +16,15 @@ from repro.relational.jointree import BoundQuery
 
 @dataclass
 class TraversalResult:
-    """Outcome of one Phase-3 run over an exploration graph."""
+    """Outcome of one Phase-3 run over an exploration graph.
+
+    ``exhausted=True`` marks a *partial* result: the probe budget bound
+    before the sweep finished.  Every classification present is identical
+    to what an unbudgeted run reports (R1/R2 closure never guesses); MTNs
+    absent from both lists stayed possibly-alive, and a dead MTN appears
+    in ``mpans`` only once its search space was fully resolved (partial
+    MPAN sets could falsely claim maximality).
+    """
 
     strategy: str
     graph: ExplorationGraph
@@ -24,10 +33,21 @@ class TraversalResult:
     mpans: dict[int, list[int]] = field(default_factory=dict)
     stats: EvaluationStats = field(default_factory=EvaluationStats)
     elapsed: float = 0.0
+    exhausted: bool = False
     # The status store that classified each MTN (one shared store for the
     # reuse strategies, one per MTN for BU/TD).  Diagnosis reads minimal
     # dead sub-queries out of these after the fact.
     stores: dict[int, StatusStore] = field(default_factory=dict)
+
+    @property
+    def classified_mtn_count(self) -> int:
+        return len(self.alive_mtns) + len(self.dead_mtns)
+
+    @property
+    def unclassified_mtns(self) -> list[int]:
+        """MTNs left possibly-alive (nonempty only when ``exhausted``)."""
+        known = set(self.alive_mtns) | set(self.dead_mtns)
+        return [index for index in self.graph.mtn_indexes if index not in known]
 
     @property
     def mpan_pair_count(self) -> int:
@@ -116,25 +136,69 @@ class TraversalStrategy(abc.ABC):
         started = time.perf_counter()
         before = evaluator.stats.snapshot()
         result = TraversalResult(self.name, graph)
-        self._run(graph, evaluator, database, result)
+        tracer = evaluator.tracer
+        if tracer is not None:
+            tracer.set_context(strategy=self.name)
+            tracer.record_event(
+                "traversal_start",
+                strategy=self.name,
+                nodes=len(graph),
+                mtns=len(graph.mtn_indexes),
+            )
+        try:
+            self._run(graph, evaluator, database, result)
+        except ProbeBudgetExhausted:
+            # Safety net for strategies that do not degrade themselves;
+            # the built-in ones all catch earlier and collect partially.
+            result.exhausted = True
+        finally:
+            if tracer is not None:
+                tracer.set_context(strategy=None)
         result.alive_mtns.sort()
         result.dead_mtns.sort()
         result.stats = evaluator.stats.diff(before)
         result.elapsed = time.perf_counter() - started
+        if tracer is not None:
+            tracer.record_event(
+                "traversal_end",
+                strategy=self.name,
+                queries_executed=result.stats.queries_executed,
+                cache_hits=result.stats.cache_hits,
+                classified=result.classified_mtn_count,
+                exhausted=result.exhausted,
+            )
         return result
 
     def _collect(
-        self, store: StatusStore, result: TraversalResult, mtn_index: int
+        self,
+        store: StatusStore,
+        result: TraversalResult,
+        mtn_index: int,
+        partial: bool = False,
     ) -> None:
-        """Record one classified MTN (and its MPANs if dead) into the result."""
+        """Record one classified MTN (and its MPANs if dead) into the result.
+
+        With ``partial=True`` (a budget-exhausted sweep) an unclassified
+        MTN is skipped instead of being an error, and a dead MTN's MPANs
+        are reported only if its whole search space was resolved --
+        otherwise an unknown node could still be the true maximal one.
+        """
         from repro.core.status import Status
 
         status = store.status(mtn_index)
+        if partial and status is Status.POSSIBLY_ALIVE:
+            return
         result.stores[mtn_index] = store
         if status is Status.ALIVE:
             result.alive_mtns.append(mtn_index)
         elif status is Status.DEAD:
             result.dead_mtns.append(mtn_index)
-            result.mpans[mtn_index] = store.mpans_of(mtn_index)
+            unresolved = (
+                store.unknown_mask & store.graph.desc_mask[mtn_index]
+                if partial
+                else 0
+            )
+            if not unresolved:
+                result.mpans[mtn_index] = store.mpans_of(mtn_index)
         else:  # pragma: no cover - defended against by every strategy
             raise RuntimeError(f"MTN {mtn_index} left unclassified")

@@ -41,6 +41,7 @@ from repro.core.traversal.base import (
     TraversalStrategy,
     seed_base_levels,
 )
+from repro.obs.budget import ProbeBudgetExhausted
 from repro.relational.database import Database
 from repro.relational.evaluator import InstrumentedEvaluator
 
@@ -97,23 +98,26 @@ class ScoreBasedStrategy(TraversalStrategy):
         asc_matrix = _closure_matrix(graph, graph.asc_mask)
         p_alive = self.probability_alive
 
-        while True:
-            candidates = np.flatnonzero(weight)
-            if candidates.size == 0:
-                break
-            # argmin Score == argmax p_a*WD + (1-p_a)*WA (see module docstring)
-            gain = p_alive * (desc_matrix @ weight) + (1.0 - p_alive) * (
-                asc_matrix @ weight
-            )
-            best = int(candidates[np.argmax(gain[candidates])])
-            alive = evaluator.is_alive(graph.node(best).query)
-            store.record(best, alive)
-            now_known = store.alive_mask | store.dead_mask
-            self._zero_bits(weight, graph, now_known & ~known)
-            known = now_known
+        try:
+            while True:
+                candidates = np.flatnonzero(weight)
+                if candidates.size == 0:
+                    break
+                # argmin Score == argmax p_a*WD + (1-p_a)*WA (see module docstring)
+                gain = p_alive * (desc_matrix @ weight) + (1.0 - p_alive) * (
+                    asc_matrix @ weight
+                )
+                best = int(candidates[np.argmax(gain[candidates])])
+                alive = evaluator.is_alive(graph.node(best).query)
+                store.record(best, alive)
+                now_known = store.alive_mask | store.dead_mask
+                self._zero_bits(weight, graph, now_known & ~known)
+                known = now_known
+        except ProbeBudgetExhausted:
+            result.exhausted = True
 
         for mtn_index in graph.mtn_indexes:
-            self._collect(store, result, mtn_index)
+            self._collect(store, result, mtn_index, partial=result.exhausted)
 
     @staticmethod
     def _zero_bits(weight: np.ndarray, graph: ExplorationGraph, mask: int) -> None:

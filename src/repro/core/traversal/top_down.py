@@ -9,6 +9,7 @@ from repro.core.traversal.base import (
     TraversalStrategy,
     seed_base_levels,
 )
+from repro.obs.budget import ProbeBudgetExhausted
 from repro.relational.database import Database
 from repro.relational.evaluator import InstrumentedEvaluator
 
@@ -52,7 +53,12 @@ class TopDownStrategy(TraversalStrategy):
         for mtn_index in graph.mtn_indexes:
             store = StatusStore(graph, domain=graph.desc_plus(mtn_index))
             seed_base_levels(graph, store, database)
-            _sweep_down(graph, store, evaluator, graph.node(mtn_index).level)
+            try:
+                _sweep_down(graph, store, evaluator, graph.node(mtn_index).level)
+            except ProbeBudgetExhausted:
+                result.exhausted = True
+                self._collect(store, result, mtn_index, partial=True)
+                return
             self._collect(store, result, mtn_index)
 
 
@@ -71,6 +77,9 @@ class TopDownWithReuseStrategy(TraversalStrategy):
     ) -> None:
         store = StatusStore(graph)
         seed_base_levels(graph, store, database)
-        _sweep_down(graph, store, evaluator, graph.max_level)
+        try:
+            _sweep_down(graph, store, evaluator, graph.max_level)
+        except ProbeBudgetExhausted:
+            result.exhausted = True
         for mtn_index in graph.mtn_indexes:
-            self._collect(store, result, mtn_index)
+            self._collect(store, result, mtn_index, partial=result.exhausted)

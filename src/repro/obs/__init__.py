@@ -1,0 +1,41 @@
+"""Observability + robustness layer for the probe path (``repro.obs``).
+
+Two orthogonal facilities, both threaded through
+:class:`~repro.relational.evaluator.InstrumentedEvaluator` and therefore
+visible to every traversal strategy, interactive session, and benchmark:
+
+* :class:`ProbeBudget` -- a hard cap on probing work (executed queries
+  and/or a deadline in simulated or wall seconds).  When the budget is
+  exhausted the evaluator raises :class:`ProbeBudgetExhausted` and the
+  sweep in progress stops cleanly with a *partial* result: every
+  classification it does report is identical to an unbudgeted run
+  (anytime semantics -- R1/R2 closure never guesses), the rest stays
+  "possibly alive".
+
+* :class:`ProbeTracer` -- a ring-buffer span/event recorder.  Each
+  executed (or cache-answered) probe becomes one :class:`ProbeSpan`
+  carrying lattice level, keywords, backend, wall + simulated cost,
+  cache hit/miss, and remaining budget; traces export as JSON-lines
+  (``repro trace``) and aggregate per level / per strategy.
+"""
+
+from repro.obs.budget import ProbeBudget, ProbeBudgetExhausted
+from repro.obs.trace import (
+    ProbeSpan,
+    ProbeTracer,
+    TraceEvent,
+    TraceValidationError,
+    validate_trace_file,
+    validate_trace_record,
+)
+
+__all__ = [
+    "ProbeBudget",
+    "ProbeBudgetExhausted",
+    "ProbeSpan",
+    "ProbeTracer",
+    "TraceEvent",
+    "TraceValidationError",
+    "validate_trace_file",
+    "validate_trace_record",
+]

@@ -1,0 +1,142 @@
+"""Probe budgets: bounded-latency guarantees for the probe path.
+
+A :class:`ProbeBudget` caps how much probing work one sweep may spend,
+along any combination of three axes:
+
+* ``max_queries`` -- number of probes that reach the backend (cache hits
+  are free: answering from the reuse cache costs no SQL);
+* ``max_simulated_seconds`` -- cumulative deterministic cost-model time,
+  so budgeted figure runs are reproducible across machines;
+* ``max_wall_seconds`` -- cumulative measured backend time.
+
+The evaluator calls :meth:`admit` before each backend execution and
+:meth:`charge` after it.  ``admit`` raises :class:`ProbeBudgetExhausted`
+once a limit is reached; because the check happens *before* execution, a
+budget of ``max_queries=N`` can never execute more than ``N`` queries.
+
+Exhaustion is graceful by design: the traversal strategies catch the
+exception, keep every classification already derived (those are exactly
+what an unbudgeted run would report -- R1/R2 closure only ever records
+implications of executed probes), and flag the result ``exhausted``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ProbeBudgetExhausted(RuntimeError):
+    """A probe was refused because its :class:`ProbeBudget` is spent."""
+
+    def __init__(self, budget: "ProbeBudget") -> None:
+        super().__init__(f"probe budget exhausted: {budget.describe()}")
+        self.budget = budget
+
+
+@dataclass
+class ProbeBudget:
+    """Mutable accounting of probing work against fixed limits.
+
+    A limit of ``None`` means "unlimited" along that axis; a budget with
+    all limits ``None`` never refuses anything.  One budget instance is
+    meant to cover one logical unit of work (a traversal run, a debug
+    session); share it across evaluators to bound their combined effort.
+    """
+
+    max_queries: int | None = None
+    max_simulated_seconds: float | None = None
+    max_wall_seconds: float | None = None
+
+    queries_used: int = field(default=0, init=False)
+    simulated_used: float = field(default=0.0, init=False)
+    wall_used: float = field(default=0.0, init=False)
+    #: Number of probes refused by :meth:`admit` -- nonzero iff the
+    #: budget actually bound some sweep.
+    denied: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_queries is not None and self.max_queries < 0:
+            raise ValueError("max_queries must be >= 0")
+        if self.max_simulated_seconds is not None and self.max_simulated_seconds < 0:
+            raise ValueError("max_simulated_seconds must be >= 0")
+        if self.max_wall_seconds is not None and self.max_wall_seconds < 0:
+            raise ValueError("max_wall_seconds must be >= 0")
+
+    # -------------------------------------------------------------- queries
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.max_queries is None
+            and self.max_simulated_seconds is None
+            and self.max_wall_seconds is None
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the *next* probe may not execute."""
+        if self.max_queries is not None and self.queries_used >= self.max_queries:
+            return True
+        if (
+            self.max_simulated_seconds is not None
+            and self.simulated_used >= self.max_simulated_seconds
+        ):
+            return True
+        if (
+            self.max_wall_seconds is not None
+            and self.wall_used >= self.max_wall_seconds
+        ):
+            return True
+        return False
+
+    @property
+    def bound(self) -> bool:
+        """True once a probe has actually been refused."""
+        return self.denied > 0
+
+    def remaining_queries(self) -> int | None:
+        """Probes left before the query cap bites (``None`` = unlimited)."""
+        if self.max_queries is None:
+            return None
+        return max(0, self.max_queries - self.queries_used)
+
+    def describe(self) -> str:
+        parts = []
+        if self.max_queries is not None:
+            parts.append(f"{self.queries_used}/{self.max_queries} queries")
+        if self.max_simulated_seconds is not None:
+            parts.append(
+                f"{self.simulated_used:.3f}/{self.max_simulated_seconds:.3f} s simulated"
+            )
+        if self.max_wall_seconds is not None:
+            parts.append(
+                f"{self.wall_used:.3f}/{self.max_wall_seconds:.3f} s wall"
+            )
+        return ", ".join(parts) if parts else "unlimited"
+
+    # -------------------------------------------------------------- updates
+    def admit(self) -> None:
+        """Refuse (raise) if the next backend execution would bust a limit."""
+        if self.exhausted:
+            self.denied += 1
+            raise ProbeBudgetExhausted(self)
+
+    def charge(
+        self,
+        queries: int = 1,
+        wall_seconds: float = 0.0,
+        simulated_seconds: float = 0.0,
+    ) -> None:
+        """Account one executed probe's cost."""
+        self.queries_used += queries
+        self.wall_used += wall_seconds
+        self.simulated_used += simulated_seconds
+
+    def reset(self) -> None:
+        """Forget all spent work (limits stay); for budget-per-query reuse."""
+        self.queries_used = 0
+        self.simulated_used = 0.0
+        self.wall_used = 0.0
+        self.denied = 0
+
+    def __str__(self) -> str:
+        return f"ProbeBudget({self.describe()})"

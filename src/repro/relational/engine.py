@@ -46,21 +46,28 @@ class InMemoryEngine:
     def tuple_set(
         self, relation: str, keyword: str, mode: MatchMode
     ) -> frozenset[int]:
-        """Row ids of ``relation`` whose text attributes match ``keyword``."""
-        key = (relation, keyword.lower(), mode)
+        """Row ids of ``relation`` whose text attributes match ``keyword``.
+
+        Matching is case-insensitive, so the keyword is normalized *before*
+        the provider call: the cache is keyed by the lowercased keyword, and
+        forwarding the original case would make a case-sensitive provider's
+        answers first-caller-wins inconsistent across mixed-case lookups.
+        """
+        needle = keyword.lower()
+        key = (relation, needle, mode)
         cached = self._scan_cache.get(key)
         if cached is not None:
             return cached
         ids: set[int] | None = None
         if self._tuple_set_provider is not None:
-            ids = self._tuple_set_provider(relation, keyword, mode)
+            ids = self._tuple_set_provider(relation, needle, mode)
         if ids is None:
             table = self.database.table(relation)
             ids = {
                 row_id
                 for row_id in range(len(table))
                 if any(
-                    cell_matches(keyword, text, mode)
+                    cell_matches(needle, text, mode)
                     for _, text in table.text_cells(row_id)
                 )
             }

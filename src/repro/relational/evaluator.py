@@ -16,6 +16,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro.obs.budget import ProbeBudget, ProbeBudgetExhausted
+from repro.obs.trace import ProbeTracer
 from repro.relational.jointree import BoundQuery
 
 
@@ -53,10 +55,16 @@ class EvaluationStats:
         )
 
     def diff(self, earlier: "EvaluationStats") -> "EvaluationStats":
-        """Counters accumulated since ``earlier`` was snapshotted."""
+        """Counters accumulated since ``earlier`` was snapshotted.
+
+        Levels present only in ``earlier`` (possible after ``reset_stats``)
+        yield negative deltas rather than silently disappearing.
+        """
+        levels = set(self.executed_by_level) | set(earlier.executed_by_level)
         by_level = {
-            level: count - earlier.executed_by_level.get(level, 0)
-            for level, count in self.executed_by_level.items()
+            level: self.executed_by_level.get(level, 0)
+            - earlier.executed_by_level.get(level, 0)
+            for level in levels
         }
         return EvaluationStats(
             self.queries_executed - earlier.queries_executed,
@@ -83,6 +91,12 @@ class InstrumentedEvaluator:
     from the cache without touching the backend.  Non-reuse strategies (BU,
     TD) construct their evaluator with ``use_cache=False`` so that shared
     sub-queries are re-executed per MTN, exactly as the paper measures them.
+
+    A ``budget`` caps the work spent here: cache hits are always free,
+    but each backend execution must be admitted first and is charged
+    afterwards, so a :class:`~repro.obs.budget.ProbeBudgetExhausted` from
+    :meth:`is_alive` guarantees the backend was *not* touched.  A
+    ``tracer`` records one span per probe (executed or cache-answered).
     """
 
     def __init__(
@@ -90,30 +104,79 @@ class InstrumentedEvaluator:
         backend: AlivenessBackend,
         cost_model: QueryCostModel | None = None,
         use_cache: bool = True,
+        budget: ProbeBudget | None = None,
+        tracer: ProbeTracer | None = None,
     ):
         self.backend = backend
         self.cost_model = cost_model
         self.use_cache = use_cache
+        self.budget = budget
+        self.tracer = tracer
         self.stats = EvaluationStats()
         self._cache: dict[BoundQuery, bool] = {}
 
+    def _trace(
+        self,
+        query: BoundQuery,
+        alive: bool,
+        cache_hit: bool,
+        wall: float,
+        simulated: float,
+    ) -> None:
+        assert self.tracer is not None
+        self.tracer.record_probe(
+            level=query.tree.size,
+            keywords=query.keywords,
+            backend=type(self.backend).__name__,
+            alive=alive,
+            cache_hit=cache_hit,
+            wall_seconds=wall,
+            simulated_seconds=simulated,
+            budget_remaining=(
+                self.budget.remaining_queries() if self.budget is not None else None
+            ),
+        )
+
     def is_alive(self, query: BoundQuery) -> bool:
-        """Answer an aliveness probe, counting one executed query on a miss."""
+        """Answer an aliveness probe, counting one executed query on a miss.
+
+        Raises :class:`~repro.obs.budget.ProbeBudgetExhausted` *before*
+        touching the backend when the budget is spent; cached answers are
+        served regardless (they cost nothing).
+        """
         if self.use_cache:
             cached = self._cache.get(query)
             if cached is not None:
                 self.stats.cache_hits += 1
+                if self.tracer is not None:
+                    self._trace(query, cached, cache_hit=True, wall=0.0, simulated=0.0)
                 return cached
+        if self.budget is not None:
+            try:
+                self.budget.admit()
+            except ProbeBudgetExhausted:
+                if self.tracer is not None:
+                    self.tracer.record_event(
+                        "budget_exhausted", budget=self.budget.describe()
+                    )
+                raise
         started = time.perf_counter()
         alive = self.backend.is_alive(query)
-        self.stats.wall_time += time.perf_counter() - started
+        wall = time.perf_counter() - started
+        self.stats.wall_time += wall
         self.stats.queries_executed += 1
         level = query.tree.size
         self.stats.executed_by_level[level] = (
             self.stats.executed_by_level.get(level, 0) + 1
         )
+        simulated = 0.0
         if self.cost_model is not None:
-            self.stats.simulated_time += self.cost_model.cost(query)
+            simulated = self.cost_model.cost(query)
+            self.stats.simulated_time += simulated
+        if self.budget is not None:
+            self.budget.charge(wall_seconds=wall, simulated_seconds=simulated)
+        if self.tracer is not None:
+            self._trace(query, alive, cache_hit=False, wall=wall, simulated=simulated)
         if self.use_cache:
             self._cache[query] = alive
         return alive

@@ -22,6 +22,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "fig99"])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "red candle"])
+        assert args.strategy == "sbh"
+        assert args.budget_queries == 0
+        assert args.budget_simulated == 0.0
+        assert args.output is None
+        assert not args.summary
+
+    def test_trace_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "red candle", "--strategy", "xx"])
+
 
 class TestCommands:
     def test_debug_products(self, capsys):
@@ -77,6 +89,87 @@ class TestCommands:
             ["debug", "saffron scented candle", "--direct", "--free-copies", "2"]
         ) == 0
         assert "answer queries" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_stdout_is_valid_jsonl(self, capsys):
+        from repro.obs.trace import validate_trace_lines
+
+        assert main(["trace", "saffron scented candle"]) == 0
+        captured = capsys.readouterr()
+        counts = validate_trace_lines(captured.out.splitlines())
+        assert counts["span"] > 0 and counts["event"] >= 2
+        assert "trace:" in captured.err  # status stays off stdout
+
+    def test_trace_output_file(self, capsys, tmp_path):
+        from repro.obs.trace import validate_trace_file
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "saffron scented candle", "--output", str(path)]
+        ) == 0
+        counts = validate_trace_file(str(path))
+        assert counts["span"] > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_span_count_matches_executed_queries(self, capsys):
+        import json
+
+        assert main(["trace", "saffron scented candle", "--strategy", "buwr"]) == 0
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        executed = sum(
+            1 for r in records if r["kind"] == "span" and not r["cache_hit"]
+        )
+        end = next(r for r in records if r.get("name") == "traversal_end")
+        assert executed == end["queries_executed"]
+
+    def test_trace_budget_bounds_executions_and_reports(self, capsys):
+        import json
+
+        assert main(
+            ["trace", "saffron scented candle", "--budget-queries", "1"]
+        ) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        executed = [
+            r for r in records if r["kind"] == "span" and not r["cache_hit"]
+        ]
+        assert len(executed) <= 1
+        assert any(r.get("name") == "budget_exhausted" for r in records)
+        assert "budget exhausted" in captured.err
+
+    def test_trace_summary_tables(self, capsys):
+        assert main(["trace", "saffron scented candle", "--summary"]) == 0
+        err = capsys.readouterr().err
+        assert "Probe spans by lattice level" in err
+        assert "Probe spans by traversal strategy" in err
+
+    def test_trace_dblife_direct(self, capsys):
+        assert main(
+            [
+                "trace",
+                "Gray SIGMOD",
+                "--dataset",
+                "dblife",
+                "--direct",
+                "--strategy",
+                "tdwr",
+            ]
+        ) == 0
+        assert "trace:" in capsys.readouterr().err
+
+    def test_bench_trace_writes_jsonl(self, capsys, tmp_path):
+        from repro.obs.trace import validate_trace_file
+
+        path = tmp_path / "bench-trace.jsonl"
+        assert main(
+            ["bench", "fig11", "--scale", "1", "--level", "3", "--trace", str(path)]
+        ) == 0
+        counts = validate_trace_file(str(path))
+        assert counts["span"] > 0 and counts["event"] >= 2
+        assert "wrote" in capsys.readouterr().out
 
 
 class TestLintCommand:

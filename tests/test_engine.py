@@ -61,6 +61,37 @@ class TestTupleSets:
         assert engine.tuple_set("Item", "anything", MatchMode.TOKEN) == {0}
         assert calls == [("Item", "anything")]
 
+    def test_provider_receives_normalized_keyword(self, products_db):
+        """Regression: the cache is keyed by the lowercased keyword, so the
+        provider must see it lowercased too -- a case-sensitive provider
+        would otherwise make the cache first-caller-wins inconsistent."""
+        calls = []
+
+        def case_sensitive_provider(relation, keyword, mode):
+            calls.append(keyword)
+            # Simulates a provider with exact-case postings: only the
+            # lowercase spelling has a tuple set.
+            return {0} if keyword == "candle" else set()
+
+        engine = InMemoryEngine(
+            products_db, tuple_set_provider=case_sensitive_provider
+        )
+        upper = engine.tuple_set("Item", "CANDLE", MatchMode.TOKEN)
+        lower = engine.tuple_set("Item", "candle", MatchMode.TOKEN)
+        assert upper == lower == {0}
+        assert calls == ["candle"]  # one normalized call, then the cache
+
+    def test_mixed_case_lookups_agree_with_inverted_index(self, products_db):
+        """Mixed-case lookups through the real inverted-index provider give
+        the same tuple sets as lowercase ones, in either call order."""
+        index = InvertedIndex(products_db)
+        for first, second in (("Scented", "scented"), ("candle", "CANDLE")):
+            engine = InMemoryEngine(products_db, tuple_set_provider=index.provider)
+            expected = index.tuple_set("Item", first.lower(), MatchMode.TOKEN)
+            assert expected
+            assert engine.tuple_set("Item", first, MatchMode.TOKEN) == expected
+            assert engine.tuple_set("Item", second, MatchMode.TOKEN) == expected
+
 
 class TestAliveness:
     def test_single_bound_alive(self, engine, schema):

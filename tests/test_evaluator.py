@@ -1,5 +1,8 @@
 """Unit tests for the instrumented evaluator (counts, cache, cost model)."""
 
+import pytest
+
+from repro.obs import ProbeBudget, ProbeBudgetExhausted, ProbeTracer
 from repro.relational.evaluator import EvaluationStats, InstrumentedEvaluator
 from repro.relational.jointree import BoundQuery, JoinTree, RelationInstance
 
@@ -83,6 +86,24 @@ class TestInstrumentedEvaluator:
         assert delta.queries_executed == 2
         assert delta.executed_by_level == {1: 2}
 
+    def test_diff_keeps_levels_present_only_in_earlier(self):
+        """Regression: levels dropped since the snapshot must yield negative
+        deltas, not silently vanish (e.g. diffing across ``reset_stats``)."""
+        earlier = EvaluationStats(queries_executed=3, executed_by_level={1: 1, 2: 2})
+        later = EvaluationStats(queries_executed=4, executed_by_level={2: 3, 3: 1})
+        delta = later.diff(earlier)
+        assert delta.queries_executed == 1
+        assert delta.executed_by_level == {1: -1, 2: 1, 3: 1}
+
+    def test_diff_after_reset_stats_reports_negative_levels(self):
+        evaluator = InstrumentedEvaluator(FakeBackend())
+        evaluator.is_alive(query("a"))
+        before = evaluator.stats.snapshot()
+        evaluator.reset_stats()
+        delta = evaluator.stats.diff(before)
+        assert delta.queries_executed == -1
+        assert delta.executed_by_level == {1: -1}
+
     def test_reset_stats(self):
         evaluator = InstrumentedEvaluator(FakeBackend())
         evaluator.is_alive(query("a"))
@@ -92,3 +113,61 @@ class TestInstrumentedEvaluator:
     def test_stats_str(self):
         stats = EvaluationStats(queries_executed=3, cache_hits=1)
         assert "3 queries" in str(stats)
+
+
+class TestBudgetedEvaluator:
+    def test_budget_refuses_before_touching_backend(self):
+        backend = FakeBackend()
+        budget = ProbeBudget(max_queries=2)
+        evaluator = InstrumentedEvaluator(backend, use_cache=False, budget=budget)
+        evaluator.is_alive(query("a"))
+        evaluator.is_alive(query("b"))
+        with pytest.raises(ProbeBudgetExhausted):
+            evaluator.is_alive(query("c"))
+        assert backend.calls == 2
+        assert evaluator.stats.queries_executed == 2
+        assert budget.bound
+
+    def test_cache_hits_are_free_after_exhaustion(self):
+        backend = FakeBackend()
+        budget = ProbeBudget(max_queries=1)
+        evaluator = InstrumentedEvaluator(backend, use_cache=True, budget=budget)
+        assert evaluator.is_alive(query("alive")) is True
+        # Budget spent, but the cached answer still flows.
+        assert evaluator.is_alive(query("alive")) is True
+        assert backend.calls == 1
+        assert evaluator.stats.cache_hits == 1
+
+    def test_simulated_deadline_binds(self):
+        budget = ProbeBudget(max_simulated_seconds=4.0)
+        evaluator = InstrumentedEvaluator(
+            FakeBackend(), cost_model=FakeCostModel(), use_cache=False, budget=budget
+        )
+        evaluator.is_alive(query("a"))  # 2.5 simulated seconds
+        evaluator.is_alive(query("b"))  # 5.0 total >= 4.0: next probe refused
+        with pytest.raises(ProbeBudgetExhausted):
+            evaluator.is_alive(query("c"))
+
+    def test_tracer_records_one_span_per_probe(self):
+        tracer = ProbeTracer()
+        evaluator = InstrumentedEvaluator(FakeBackend(), tracer=tracer)
+        evaluator.is_alive(query("alive"))
+        evaluator.is_alive(query("alive"))  # cache hit
+        evaluator.is_alive(query("other"))
+        assert tracer.span_count == 3
+        assert tracer.executed_span_count == evaluator.stats.queries_executed == 2
+        hit = [span for span in tracer.spans if span.cache_hit]
+        assert len(hit) == 1 and hit[0].alive is True
+        assert all(span.backend == "FakeBackend" for span in tracer.spans)
+
+    def test_tracer_records_budget_remaining_and_exhaustion_event(self):
+        tracer = ProbeTracer()
+        budget = ProbeBudget(max_queries=1)
+        evaluator = InstrumentedEvaluator(
+            FakeBackend(), use_cache=False, budget=budget, tracer=tracer
+        )
+        evaluator.is_alive(query("a"))
+        assert tracer.spans[0].budget_remaining == 0
+        with pytest.raises(ProbeBudgetExhausted):
+            evaluator.is_alive(query("b"))
+        assert [event.name for event in tracer.events] == ["budget_exhausted"]

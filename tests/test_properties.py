@@ -200,6 +200,57 @@ class TestStrategyEquivalence:
             assert counts["tdwr"] <= counts["td"]
 
 
+class TestBudgetAnytime:
+    @SETTINGS
+    @given(
+        database=product_databases(),
+        seed=st.integers(0, 10_000),
+        cap=st.integers(0, 12),
+    )
+    def test_budgeted_runs_are_sound_prefixes(self, database, seed, cap):
+        """A budget-bounded run of any strategy reports a subset of the
+        unbudgeted run's classifications with identical verdicts, executes
+        at most ``cap`` queries, and is flagged ``exhausted`` iff the
+        budget actually bound."""
+        from repro.obs import ProbeBudget
+
+        debugger = NonAnswerDebugger(database, max_joins=2)
+        for text in random_queries(database, seed, count=1):
+            mapping = debugger.map_keywords(text)
+            if not mapping.complete or not mapping.keywords:
+                continue
+            graph = debugger.build_graph(debugger.prune(mapping))
+            for name in STRATEGY_NAMES:
+                strategy = get_strategy(name)
+                full = strategy.run(
+                    graph,
+                    debugger.make_evaluator(use_cache=strategy.uses_reuse),
+                    database,
+                )
+                budget = ProbeBudget(max_queries=cap)
+                partial = strategy.run(
+                    graph,
+                    debugger.make_evaluator(
+                        use_cache=strategy.uses_reuse, budget=budget
+                    ),
+                    database,
+                )
+                assert partial.stats.queries_executed <= cap
+                assert partial.exhausted == budget.bound
+                assert partial.exhausted == (
+                    cap < full.stats.queries_executed
+                ), (name, text)
+                assert set(partial.alive_mtns) <= set(full.alive_mtns)
+                assert set(partial.dead_mtns) <= set(full.dead_mtns)
+                for mtn_index, mpans in partial.mpans.items():
+                    assert sorted(mpans) == sorted(full.mpans[mtn_index])
+                if not partial.exhausted:
+                    assert (
+                        partial.classification_signature()
+                        == full.classification_signature()
+                    )
+
+
 class TestMtnCnEquivalence:
     @SETTINGS
     @given(database=product_databases(), seed=st.integers(0, 10_000))

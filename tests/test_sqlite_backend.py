@@ -79,11 +79,29 @@ class TestSqliteEngine:
 
     def test_full_workload_agreement(self, products_debugger, products_db):
         """Every exploration-graph query agrees across backends."""
-        sqlite_engine = SqliteEngine(products_db)
         memory_engine = InMemoryEngine(products_db)
         report = products_debugger.debug("saffron scented candle")
-        for node in report.graph.nodes:
-            assert sqlite_engine.is_alive(node.query) == memory_engine.is_alive(
-                node.query
-            ), node.query.describe()
-        sqlite_engine.close()
+        with SqliteEngine(products_db) as sqlite_engine:
+            for node in report.graph.nodes:
+                assert sqlite_engine.is_alive(node.query) == memory_engine.is_alive(
+                    node.query
+                ), node.query.describe()
+
+    def test_close_releases_connection(self, products_db):
+        import sqlite3
+
+        engine = SqliteEngine(products_db)
+        engine.close()
+        with pytest.raises(sqlite3.ProgrammingError):
+            engine.connection.execute("SELECT 1")
+
+    def test_debugger_context_manager_closes_sqlite_backend(self, products_db):
+        import sqlite3
+
+        from repro.core.debugger import NonAnswerDebugger
+
+        with NonAnswerDebugger(products_db, backend="sqlite") as debugger:
+            report = debugger.debug("red candle")
+            assert report.traversal is not None
+        with pytest.raises(sqlite3.ProgrammingError):
+            debugger.backend.connection.execute("SELECT 1")
