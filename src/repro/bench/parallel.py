@@ -1,0 +1,179 @@
+"""Serial-vs-parallel micro-benchmark for frontier probe batching.
+
+Runs every traversal strategy over the DBLife workload twice against a
+:class:`~repro.parallel.SimulatedLatencyBackend` -- once serially, once
+through a :class:`~repro.parallel.ParallelProbeExecutor` -- and checks the
+two invariants the parallel path promises before reporting any timing:
+
+* byte-identical classification signatures and executed-query counts, and
+* budgeted parallel runs never execute more than ``max_queries`` probes.
+
+The latency backend charges each probe a deterministic sleep (a stand-in
+for a DBMS round-trip; see :mod:`repro.parallel.latency`), so the wall
+clock actually has something to overlap: the level-wise strategies submit
+whole frontiers and should approach ``min(workers, frontier)``-fold
+speedups, while SBH's singleton frontiers pin it at ~1x by design.
+``repro bench parallel`` renders the table; ``--json`` dumps the payload
+CI asserts on (``BENCH_parallel.json``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.context import BenchContext
+from repro.bench.tables import TextTable
+from repro.core.traversal import STRATEGY_NAMES, TraversalResult, get_strategy
+from repro.obs.budget import ProbeBudget
+from repro.parallel import ParallelProbeExecutor, SimulatedLatencyBackend
+from repro.parallel.executor import DEFAULT_WORKERS
+from repro.relational.evaluator import BatchExecutor, InstrumentedEvaluator
+
+DEFAULT_BENCH_LEVEL = 4
+#: Per-probe sleep of the bench's latency backend.  Higher than the
+#: backend's own default so thread coordination overhead is small against
+#: it (a 5ms round-trip is still optimistic for a networked DBMS) while a
+#: full 3x-workload pass stays ~10s.
+DEFAULT_BENCH_LATENCY = 0.005
+#: Probe cap of the budgeted verification runs; small enough to bind on
+#: every workload query at every level.
+DEFAULT_BUDGET_QUERIES = 6
+
+
+def _timed_run(
+    context: BenchContext,
+    level: int,
+    strategy_name: str,
+    latency: float,
+    executor: BatchExecutor | None = None,
+    budget: ProbeBudget | None = None,
+) -> tuple[float, list[TraversalResult]]:
+    """One full-workload traversal pass; returns (wall seconds, results)."""
+    strategy = get_strategy(strategy_name)
+    debugger = context.debugger(level)
+    backend = SimulatedLatencyBackend(debugger.backend, latency=latency)
+    wall = 0.0
+    results = []
+    for query in context.workload:
+        prepared = context.prepare(level, query)
+        evaluator = InstrumentedEvaluator(
+            backend,
+            cost_model=context.cost_model,
+            use_cache=strategy.uses_reuse,
+            budget=budget,
+            tracer=context.tracer,
+        )
+        if budget is not None:
+            budget.reset()
+        started = time.perf_counter()
+        result = strategy.run(
+            prepared.graph, evaluator, context.database, executor=executor
+        )
+        wall += time.perf_counter() - started
+        results.append(result)
+    return wall, results
+
+
+def run_parallel_bench(
+    context: BenchContext | None = None,
+    level: int = DEFAULT_BENCH_LEVEL,
+    workers: int = DEFAULT_WORKERS,
+    latency: float = DEFAULT_BENCH_LATENCY,
+    strategies: tuple[str, ...] = STRATEGY_NAMES,
+    budget_queries: int = DEFAULT_BUDGET_QUERIES,
+) -> tuple[TextTable, dict]:
+    """Serial vs ``workers``-way parallel probing over the bench workload.
+
+    Returns the rendered table and a JSON-able payload with per-strategy
+    and overall wall times, query counts, the signature comparison, and
+    the budget-cap verification -- the contract ``BENCH_parallel.json``
+    carries into CI.
+    """
+    context = context or BenchContext()
+    table = TextTable(
+        f"Parallel probing: serial vs {workers} workers "
+        f"(level {level}, {latency * 1000:.1f}ms/probe)",
+        ["strategy", "serial s", "parallel s", "speedup", "queries", "identical"],
+    )
+    payload: dict = {
+        "level": level,
+        "workers": workers,
+        "latency_s": latency,
+        "strategies": {},
+    }
+    serial_total = 0.0
+    parallel_total = 0.0
+    all_identical = True
+    max_budget_executed = 0
+    with ParallelProbeExecutor(workers=workers) as executor:
+        for name in strategies:
+            serial_wall, serial_results = _timed_run(context, level, name, latency)
+            parallel_wall, parallel_results = _timed_run(
+                context, level, name, latency, executor=executor
+            )
+            identical = [
+                one.classification_signature() == two.classification_signature()
+                and one.stats.queries_executed == two.stats.queries_executed
+                for one, two in zip(serial_results, parallel_results)
+            ]
+            _, budgeted = _timed_run(
+                context,
+                level,
+                name,
+                latency,
+                executor=executor,
+                budget=ProbeBudget(max_queries=budget_queries),
+            )
+            budget_executed = max(
+                result.stats.queries_executed for result in budgeted
+            )
+            max_budget_executed = max(max_budget_executed, budget_executed)
+            serial_total += serial_wall
+            parallel_total += parallel_wall
+            all_identical = all_identical and all(identical)
+            speedup = serial_wall / parallel_wall if parallel_wall else 0.0
+            queries = sum(r.stats.queries_executed for r in serial_results)
+            table.add_row(
+                name,
+                serial_wall,
+                parallel_wall,
+                speedup,
+                queries,
+                "yes" if all(identical) else "NO",
+            )
+            payload["strategies"][name] = {
+                "serial_wall_s": serial_wall,
+                "parallel_wall_s": parallel_wall,
+                "speedup": speedup,
+                "serial_queries": [
+                    r.stats.queries_executed for r in serial_results
+                ],
+                "parallel_queries": [
+                    r.stats.queries_executed for r in parallel_results
+                ],
+                "signatures_match": all(identical),
+                "budget_max_executed": budget_executed,
+            }
+    overall = serial_total / parallel_total if parallel_total else 0.0
+    payload.update(
+        serial_wall_s=serial_total,
+        parallel_wall_s=parallel_total,
+        speedup=overall,
+        signatures_match=all_identical,
+        budget_max_queries=budget_queries,
+        budget_max_executed=max_budget_executed,
+        budget_respected=max_budget_executed <= budget_queries,
+    )
+    table.add_note(
+        f"overall speedup {overall:.2f}x; classifications and query counts "
+        + ("identical to serial" if all_identical else "DIVERGED (bug!)")
+    )
+    table.add_note(
+        f"budgeted runs (max_queries={budget_queries}) executed at most "
+        f"{max_budget_executed} probes"
+    )
+    table.add_note(
+        "SBH stays ~1x by design: its greedy choice depends on each probe's "
+        "answer, so its frontier is always a singleton"
+    )
+    return table, payload

@@ -65,7 +65,7 @@ def _cmd_debug(args: argparse.Namespace) -> int:
         free_copies=args.free_copies,
     )
     started = time.perf_counter()
-    report = debugger.debug(args.query)
+    report = debugger.debug(args.query, workers=args.workers)
     elapsed = time.perf_counter() - started
     print(report.render(max_items=args.max_items))
     if args.diagnose and report.non_answers():
@@ -119,10 +119,13 @@ def _render_aggregates(tracer: ProbeTracer) -> str:
     from repro.bench.tables import TextTable
 
     blocks = []
-    for key, title in (
+    keys = [
         ("level", "Probe spans by lattice level"),
         ("strategy", "Probe spans by traversal strategy"),
-    ):
+    ]
+    if any(span.worker_id is not None for span in tracer.spans):
+        keys.append(("worker_id", "Probe spans by worker"))
+    for key, title in keys:
         rows = tracer.aggregate(key)
         if not rows:
             continue
@@ -155,7 +158,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         use_lattice=not args.direct,
         tracer=tracer,
     )
-    report = debugger.debug(args.query, budget=budget)
+    report = debugger.debug(args.query, budget=budget, workers=args.workers)
     for record in tracer.records:
         validate_trace_record(record.to_dict())
     lines = tracer.to_jsonl()
@@ -184,6 +187,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     context = BenchContext.create(scale=args.scale, seed=args.seed)
     if args.trace:
         context.tracer = ProbeTracer()
+    if args.experiment == "parallel":
+        from repro.bench.parallel import DEFAULT_BENCH_LEVEL, run_parallel_bench
+
+        started = time.perf_counter()
+        table, payload = run_parallel_bench(
+            context,
+            level=args.level or DEFAULT_BENCH_LEVEL,
+            workers=args.workers,
+        )
+        print(table.render())
+        print(f"(ran in {time.perf_counter() - started:.1f} s)")
+        if args.json:
+            import json
+
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"(wrote results to {args.json})")
+        if args.trace and context.tracer is not None:
+            count = context.tracer.write_jsonl(args.trace)
+            print(f"(wrote {count} trace records to {args.trace})")
+        return 0 if payload["signatures_match"] and payload["budget_respected"] else 1
     kwargs = {}
     if args.level:
         if args.experiment in ("fig9a", "fig9b"):
@@ -276,6 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="free copies per relation (>1 enables the multi-free extension)",
     )
+    debug.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="probe each traversal frontier on N worker threads (0 = serial)",
+    )
     debug.set_defaults(func=_cmd_debug)
 
     search = commands.add_parser("search", help="classic KWS-S (answers only)")
@@ -337,15 +367,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-level / per-strategy aggregation tables (stderr)",
     )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="probe each traversal frontier on N worker threads (0 = serial)",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     bench = commands.add_parser("bench", help="regenerate a paper table/figure")
     bench.add_argument(
-        "experiment", choices=sorted(EXPERIMENTS) + ["scaling"],
+        "experiment", choices=sorted(EXPERIMENTS) + ["parallel", "scaling"],
     )
     bench.add_argument("--scale", type=int, default=1)
     bench.add_argument("--seed", type=int, default=42)
     bench.add_argument("--level", type=int, default=0, help="override lattice level")
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker threads for the 'parallel' experiment (default: 4)",
+    )
+    bench.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the 'parallel' experiment payload as JSON (BENCH_parallel.json)",
+    )
     bench.add_argument(
         "--trace",
         metavar="PATH",

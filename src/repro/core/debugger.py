@@ -29,7 +29,11 @@ from repro.obs.budget import ProbeBudget
 from repro.obs.trace import ProbeTracer
 from repro.relational.database import Database
 from repro.relational.engine import InMemoryEngine
-from repro.relational.evaluator import InstrumentedEvaluator, QueryCostModel
+from repro.relational.evaluator import (
+    BatchExecutor,
+    InstrumentedEvaluator,
+    QueryCostModel,
+)
 from repro.relational.jointree import BoundQuery
 from repro.relational.predicates import MatchMode
 from repro.relational.sqlite_backend import SqliteEngine
@@ -281,6 +285,8 @@ class NonAnswerDebugger:
         evaluator: InstrumentedEvaluator | None = None,
         constraints: SearchConstraints = UNCONSTRAINED,
         budget: ProbeBudget | None = None,
+        workers: int = 0,
+        executor: "BatchExecutor | None" = None,
     ) -> DebugReport:
         """Run phases 1-3 for ``query`` and explain its non-answers.
 
@@ -288,6 +294,12 @@ class NonAnswerDebugger:
         reached and the report is partial (``report.exhausted``): every
         classification present matches an unbudgeted run, the rest stays
         possibly-alive.
+
+        ``workers > 1`` evaluates each traversal frontier on a transient
+        :class:`~repro.parallel.ParallelProbeExecutor` of that many threads
+        (identical classifications and probe counts, overlapped backend
+        round-trips); passing an ``executor`` reuses a caller-owned pool
+        instead and takes precedence.
         """
         chosen = self.strategy
         if strategy is not None:
@@ -317,8 +329,19 @@ class NonAnswerDebugger:
             evaluator = self.make_evaluator(use_cache=chosen.uses_reuse, budget=budget)
         elif budget is not None and evaluator.budget is None:
             evaluator.budget = budget
+        owned_executor = None
+        if executor is None and workers > 1:
+            from repro.parallel import ParallelProbeExecutor
+
+            executor = owned_executor = ParallelProbeExecutor(workers=workers)
         started = time.perf_counter()
-        report.traversal = chosen.run(report.graph, evaluator, self.database)
+        try:
+            report.traversal = chosen.run(
+                report.graph, evaluator, self.database, executor=executor
+            )
+        finally:
+            if owned_executor is not None:
+                owned_executor.close()
         timings.traversal = time.perf_counter() - started
         return report
 

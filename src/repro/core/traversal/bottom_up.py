@@ -7,11 +7,13 @@ from repro.core.status import StatusStore
 from repro.core.traversal.base import (
     TraversalResult,
     TraversalStrategy,
+    extract_level_frontier,
+    probe_frontier,
     seed_base_levels,
 )
 from repro.obs.budget import ProbeBudgetExhausted
 from repro.relational.database import Database
-from repro.relational.evaluator import InstrumentedEvaluator
+from repro.relational.evaluator import BatchExecutor, InstrumentedEvaluator
 
 
 def _sweep_up(
@@ -19,22 +21,22 @@ def _sweep_up(
     store: StatusStore,
     evaluator: InstrumentedEvaluator,
     max_level: int,
+    executor: BatchExecutor | None = None,
 ) -> None:
     """Evaluate unknown in-domain nodes level by level, lowest first.
 
     Dead nodes kill their ancestors (R2), so higher levels shrink as the
     sweep climbs; alive nodes point upward only, so nothing below is saved --
     the paper's reason BU struggles when answers sit high in the lattice.
+    Each level's unknown nodes form one implication-independent frontier
+    (probing one cannot classify another at the same level), evaluated as
+    a batch -- concurrently when an ``executor`` is given.
     """
     for level in range(2, max_level + 1):
-        unknown = store.unknown_mask
-        if not unknown:
+        if not store.unknown_mask:
             return
-        for index in graph.level_indexes(level):
-            if not (unknown >> index) & 1 or store.is_known(index):
-                continue
-            alive = evaluator.is_alive(graph.node(index).query)
-            store.record(index, alive)
+        frontier = extract_level_frontier(graph, store, level)
+        probe_frontier(graph, store, evaluator, frontier, executor)
 
 
 class BottomUpStrategy(TraversalStrategy):
@@ -53,12 +55,15 @@ class BottomUpStrategy(TraversalStrategy):
         evaluator: InstrumentedEvaluator,
         database: Database,
         result: TraversalResult,
+        executor: BatchExecutor | None = None,
     ) -> None:
         for mtn_index in graph.mtn_indexes:
             store = StatusStore(graph, domain=graph.desc_plus(mtn_index))
             seed_base_levels(graph, store, database)
             try:
-                _sweep_up(graph, store, evaluator, graph.node(mtn_index).level)
+                _sweep_up(
+                    graph, store, evaluator, graph.node(mtn_index).level, executor
+                )
             except ProbeBudgetExhausted:
                 # Keep what this MTN's partial sweep implied, then stop;
                 # later MTNs would need probes the budget no longer allows.
@@ -80,11 +85,12 @@ class BottomUpWithReuseStrategy(TraversalStrategy):
         evaluator: InstrumentedEvaluator,
         database: Database,
         result: TraversalResult,
+        executor: BatchExecutor | None = None,
     ) -> None:
         store = StatusStore(graph)
         seed_base_levels(graph, store, database)
         try:
-            _sweep_up(graph, store, evaluator, graph.max_level)
+            _sweep_up(graph, store, evaluator, graph.max_level, executor)
         except ProbeBudgetExhausted:
             result.exhausted = True
         for mtn_index in graph.mtn_indexes:

@@ -39,11 +39,12 @@ from repro.core.status import StatusStore
 from repro.core.traversal.base import (
     TraversalResult,
     TraversalStrategy,
+    probe_frontier,
     seed_base_levels,
 )
 from repro.obs.budget import ProbeBudgetExhausted
 from repro.relational.database import Database
-from repro.relational.evaluator import InstrumentedEvaluator
+from repro.relational.evaluator import BatchExecutor, InstrumentedEvaluator
 
 DEFAULT_PROBABILITY_ALIVE = 0.5
 
@@ -81,6 +82,7 @@ class ScoreBasedStrategy(TraversalStrategy):
         evaluator: InstrumentedEvaluator,
         database: Database,
         result: TraversalResult,
+        executor: BatchExecutor | None = None,
     ) -> None:
         store = StatusStore(graph)
         seed_base_levels(graph, store, database)
@@ -108,8 +110,10 @@ class ScoreBasedStrategy(TraversalStrategy):
                     asc_matrix @ weight
                 )
                 best = int(candidates[np.argmax(gain[candidates])])
-                alive = evaluator.is_alive(graph.node(best).query)
-                store.record(best, alive)
+                # SBH's next choice depends on this probe's answer, so its
+                # frontier is a singleton: no speedup from workers, but the
+                # probe count and classifications stay byte-identical.
+                probe_frontier(graph, store, evaluator, [best], executor)
                 now_known = store.alive_mask | store.dead_mask
                 self._zero_bits(weight, graph, now_known & ~known)
                 known = now_known

@@ -7,11 +7,13 @@ from repro.core.status import StatusStore
 from repro.core.traversal.base import (
     TraversalResult,
     TraversalStrategy,
+    extract_level_frontier,
+    probe_frontier,
     seed_base_levels,
 )
 from repro.obs.budget import ProbeBudgetExhausted
 from repro.relational.database import Database
-from repro.relational.evaluator import InstrumentedEvaluator
+from repro.relational.evaluator import BatchExecutor, InstrumentedEvaluator
 
 
 def _sweep_down(
@@ -19,22 +21,20 @@ def _sweep_down(
     store: StatusStore,
     evaluator: InstrumentedEvaluator,
     max_level: int,
+    executor: BatchExecutor | None = None,
 ) -> None:
     """Evaluate unknown in-domain nodes level by level, highest first.
 
     Alive nodes mark their whole descendant cone alive (R1), which is why TD
     wins when answers/MPANs sit high in the lattice: an alive MTN costs a
-    single query.
+    single query.  As in the bottom-up sweep, each level's unknown nodes are
+    one implication-independent frontier evaluated as a batch.
     """
     for level in range(max_level, 0, -1):
-        unknown = store.unknown_mask
-        if not unknown:
+        if not store.unknown_mask:
             return
-        for index in graph.level_indexes(level):
-            if not (unknown >> index) & 1 or store.is_known(index):
-                continue
-            alive = evaluator.is_alive(graph.node(index).query)
-            store.record(index, alive)
+        frontier = extract_level_frontier(graph, store, level)
+        probe_frontier(graph, store, evaluator, frontier, executor)
 
 
 class TopDownStrategy(TraversalStrategy):
@@ -49,12 +49,15 @@ class TopDownStrategy(TraversalStrategy):
         evaluator: InstrumentedEvaluator,
         database: Database,
         result: TraversalResult,
+        executor: BatchExecutor | None = None,
     ) -> None:
         for mtn_index in graph.mtn_indexes:
             store = StatusStore(graph, domain=graph.desc_plus(mtn_index))
             seed_base_levels(graph, store, database)
             try:
-                _sweep_down(graph, store, evaluator, graph.node(mtn_index).level)
+                _sweep_down(
+                    graph, store, evaluator, graph.node(mtn_index).level, executor
+                )
             except ProbeBudgetExhausted:
                 result.exhausted = True
                 self._collect(store, result, mtn_index, partial=True)
@@ -74,11 +77,12 @@ class TopDownWithReuseStrategy(TraversalStrategy):
         evaluator: InstrumentedEvaluator,
         database: Database,
         result: TraversalResult,
+        executor: BatchExecutor | None = None,
     ) -> None:
         store = StatusStore(graph)
         seed_base_levels(graph, store, database)
         try:
-            _sweep_down(graph, store, evaluator, graph.max_level)
+            _sweep_down(graph, store, evaluator, graph.max_level, executor)
         except ProbeBudgetExhausted:
             result.exhausted = True
         for mtn_index in graph.mtn_indexes:

@@ -14,6 +14,15 @@ The evaluator calls :meth:`admit` before each backend execution and
 once a limit is reached; because the check happens *before* execution, a
 budget of ``max_queries=N`` can never execute more than ``N`` queries.
 
+One budget may throttle many worker threads at once (see
+:mod:`repro.parallel`): all accounting happens under an internal lock,
+and ``admit`` *reserves* a slot on the query axis (tracked in
+``in_flight``) that :meth:`charge` settles or :meth:`cancel` releases.
+The reservation is what keeps ``max_queries=N`` a hard cap even when N
+probes are admitted before any of them finishes; the time axes cannot be
+reserved (a probe's cost is unknown until it ran), so under concurrency
+they may overshoot by at most the probes already in flight.
+
 Exhaustion is graceful by design: the traversal strategies catch the
 exception, keep every classification already derived (those are exactly
 what an unbudgeted run would report -- R1/R2 closure only ever records
@@ -22,6 +31,7 @@ implications of executed probes), and flag the result ``exhausted``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -40,7 +50,9 @@ class ProbeBudget:
     A limit of ``None`` means "unlimited" along that axis; a budget with
     all limits ``None`` never refuses anything.  One budget instance is
     meant to cover one logical unit of work (a traversal run, a debug
-    session); share it across evaluators to bound their combined effort.
+    session); share it across evaluators -- or across the worker threads
+    of a :class:`~repro.parallel.ParallelProbeExecutor` -- to bound their
+    combined effort.
     """
 
     max_queries: int | None = None
@@ -50,9 +62,14 @@ class ProbeBudget:
     queries_used: int = field(default=0, init=False)
     simulated_used: float = field(default=0.0, init=False)
     wall_used: float = field(default=0.0, init=False)
+    #: Probes admitted but not yet charged (executing on some worker).
+    in_flight: int = field(default=0, init=False)
     #: Number of probes refused by :meth:`admit` -- nonzero iff the
     #: budget actually bound some sweep.
     denied: int = field(default=0, init=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_queries is not None and self.max_queries < 0:
@@ -71,10 +88,11 @@ class ProbeBudget:
             and self.max_wall_seconds is None
         )
 
-    @property
-    def exhausted(self) -> bool:
-        """True when the *next* probe may not execute."""
-        if self.max_queries is not None and self.queries_used >= self.max_queries:
+    def _exhausted_locked(self) -> bool:
+        if (
+            self.max_queries is not None
+            and self.queries_used + self.in_flight >= self.max_queries
+        ):
             return True
         if (
             self.max_simulated_seconds is not None
@@ -89,15 +107,25 @@ class ProbeBudget:
         return False
 
     @property
+    def exhausted(self) -> bool:
+        """True when the *next* probe may not execute."""
+        with self._lock:
+            return self._exhausted_locked()
+
+    @property
     def bound(self) -> bool:
         """True once a probe has actually been refused."""
         return self.denied > 0
 
     def remaining_queries(self) -> int | None:
-        """Probes left before the query cap bites (``None`` = unlimited)."""
+        """Probes left before the query cap bites (``None`` = unlimited).
+
+        In-flight reservations count as spent: they *will* execute.
+        """
         if self.max_queries is None:
             return None
-        return max(0, self.max_queries - self.queries_used)
+        with self._lock:
+            return max(0, self.max_queries - self.queries_used - self.in_flight)
 
     def describe(self) -> str:
         parts = []
@@ -111,14 +139,23 @@ class ProbeBudget:
             parts.append(
                 f"{self.wall_used:.3f}/{self.max_wall_seconds:.3f} s wall"
             )
+        if self.in_flight:
+            parts.append(f"{self.in_flight} in flight")
         return ", ".join(parts) if parts else "unlimited"
 
     # -------------------------------------------------------------- updates
     def admit(self) -> None:
-        """Refuse (raise) if the next backend execution would bust a limit."""
-        if self.exhausted:
-            self.denied += 1
-            raise ProbeBudgetExhausted(self)
+        """Refuse (raise) if the next backend execution would bust a limit.
+
+        On success one query-axis slot is reserved; the caller must follow
+        up with exactly one :meth:`charge` (after executing) or
+        :meth:`cancel` (if execution never happened).
+        """
+        with self._lock:
+            if self._exhausted_locked():
+                self.denied += 1
+                raise ProbeBudgetExhausted(self)
+            self.in_flight += 1
 
     def charge(
         self,
@@ -126,17 +163,26 @@ class ProbeBudget:
         wall_seconds: float = 0.0,
         simulated_seconds: float = 0.0,
     ) -> None:
-        """Account one executed probe's cost."""
-        self.queries_used += queries
-        self.wall_used += wall_seconds
-        self.simulated_used += simulated_seconds
+        """Account one executed probe's cost, settling its reservation."""
+        with self._lock:
+            self.in_flight = max(0, self.in_flight - queries)
+            self.queries_used += queries
+            self.wall_used += wall_seconds
+            self.simulated_used += simulated_seconds
+
+    def cancel(self, queries: int = 1) -> None:
+        """Release a reservation whose probe never executed (backend error)."""
+        with self._lock:
+            self.in_flight = max(0, self.in_flight - queries)
 
     def reset(self) -> None:
         """Forget all spent work (limits stay); for budget-per-query reuse."""
-        self.queries_used = 0
-        self.simulated_used = 0.0
-        self.wall_used = 0.0
-        self.denied = 0
+        with self._lock:
+            self.queries_used = 0
+            self.simulated_used = 0.0
+            self.wall_used = 0.0
+            self.in_flight = 0
+            self.denied = 0
 
     def __str__(self) -> str:
         return f"ProbeBudget({self.describe()})"

@@ -21,6 +21,7 @@ determinism lint bans them outside ``repro.bench``).
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Union
@@ -38,6 +39,15 @@ SPAN_SCHEMA: dict[str, tuple[type, ...]] = {
     "cache_hit": (bool,),
     "wall_seconds": (int, float),
     "simulated_seconds": (int, float),
+}
+#: Optional span fields: absent on serial probes, stamped by the parallel
+#: executor (``worker_id``, ``queue_wait_s``) or by context/budget.  When
+#: present they must still type-check.
+SPAN_OPTIONAL_SCHEMA: dict[str, tuple[type, ...]] = {
+    "strategy": (str,),
+    "budget_remaining": (int,),
+    "worker_id": (int,),
+    "queue_wait_s": (int, float),
 }
 EVENT_SCHEMA: dict[str, tuple[type, ...]] = {
     "kind": (str,),
@@ -64,6 +74,11 @@ class ProbeSpan:
     simulated_seconds: float
     strategy: str | None = None
     budget_remaining: int | None = None
+    #: Worker-pool slot that executed the probe (None = serial path).
+    worker_id: int | None = None
+    #: Seconds the probe sat in the executor queue before a worker
+    #: picked it up (None = serial path).
+    queue_wait_s: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         record: dict[str, Any] = {
@@ -81,6 +96,10 @@ class ProbeSpan:
             record["strategy"] = self.strategy
         if self.budget_remaining is not None:
             record["budget_remaining"] = self.budget_remaining
+        if self.worker_id is not None:
+            record["worker_id"] = self.worker_id
+        if self.queue_wait_s is not None:
+            record["queue_wait_s"] = self.queue_wait_s
         return record
 
 
@@ -116,6 +135,9 @@ class ProbeTracer:
         self._seq = 0
         self.dropped = 0
         self._context: dict[str, Any] = {}
+        # Sequence assignment + append must be atomic: spans may be
+        # recorded from worker threads (see repro.parallel).
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------- context
     def set_context(self, **attrs: Any) -> None:
@@ -131,7 +153,7 @@ class ProbeTracer:
         return dict(self._context)
 
     # ----------------------------------------------------------- recording
-    def _next_seq(self) -> int:
+    def _next_seq_locked(self) -> int:
         seq = self._seq
         self._seq += 1
         if len(self._records) == self.capacity:
@@ -149,61 +171,69 @@ class ProbeTracer:
         wall_seconds: float,
         simulated_seconds: float,
         budget_remaining: int | None = None,
+        worker_id: int | None = None,
+        queue_wait_s: float | None = None,
     ) -> ProbeSpan:
-        span = ProbeSpan(
-            seq=self._next_seq(),
-            level=level,
-            keywords=tuple(sorted(keywords)),
-            backend=backend,
-            alive=alive,
-            cache_hit=cache_hit,
-            wall_seconds=wall_seconds,
-            simulated_seconds=simulated_seconds,
-            strategy=self._context.get("strategy"),
-            budget_remaining=budget_remaining,
-        )
-        self._records.append(span)
+        with self._lock:
+            span = ProbeSpan(
+                seq=self._next_seq_locked(),
+                level=level,
+                keywords=tuple(sorted(keywords)),
+                backend=backend,
+                alive=alive,
+                cache_hit=cache_hit,
+                wall_seconds=wall_seconds,
+                simulated_seconds=simulated_seconds,
+                strategy=self._context.get("strategy"),
+                budget_remaining=budget_remaining,
+                worker_id=worker_id,
+                queue_wait_s=queue_wait_s,
+            )
+            self._records.append(span)
         return span
 
     def record_event(self, name: str, **attrs: Any) -> TraceEvent:
-        event = TraceEvent(seq=self._next_seq(), name=name, attrs=attrs)
-        self._records.append(event)
+        with self._lock:
+            event = TraceEvent(seq=self._next_seq_locked(), name=name, attrs=attrs)
+            self._records.append(event)
         return event
 
     def clear(self) -> None:
-        self._records.clear()
-        self._seq = 0
-        self.dropped = 0
+        with self._lock:
+            self._records.clear()
+            self._seq = 0
+            self.dropped = 0
 
     # ------------------------------------------------------------- reading
     @property
     def records(self) -> list[TraceRecord]:
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     @property
     def spans(self) -> list[ProbeSpan]:
-        return [r for r in self._records if isinstance(r, ProbeSpan)]
+        return [r for r in self.records if isinstance(r, ProbeSpan)]
 
     @property
     def events(self) -> list[TraceEvent]:
-        return [r for r in self._records if isinstance(r, TraceEvent)]
+        return [r for r in self.records if isinstance(r, TraceEvent)]
 
     @property
     def span_count(self) -> int:
-        return sum(1 for r in self._records if isinstance(r, ProbeSpan))
+        return sum(1 for r in self.records if isinstance(r, ProbeSpan))
 
     @property
     def executed_span_count(self) -> int:
         """Spans that reached the backend (``== queries_executed``)."""
         return sum(
             1
-            for r in self._records
+            for r in self.records
             if isinstance(r, ProbeSpan) and not r.cache_hit
         )
 
     # -------------------------------------------------------------- export
     def iter_jsonl(self) -> Iterator[str]:
-        for record in self._records:
+        for record in self.records:
             yield json.dumps(record.to_dict(), sort_keys=True)
 
     def to_jsonl(self) -> str:
@@ -220,12 +250,13 @@ class ProbeTracer:
 
     # --------------------------------------------------------- aggregation
     def aggregate(self, key: str = "level") -> list[dict[str, Any]]:
-        """Fold spans into summary rows grouped by ``level`` or ``strategy``.
+        """Fold spans into summary rows grouped by ``level``, ``strategy``,
+        or ``worker_id``.
 
         Each row carries probe/executed/cache-hit counts and total wall +
         simulated seconds; rows sort by group key.
         """
-        if key not in ("level", "strategy"):
+        if key not in ("level", "strategy", "worker_id"):
             raise ValueError(f"unsupported aggregation key {key!r}")
         groups: dict[Any, dict[str, Any]] = {}
         for span in self.spans:
@@ -278,10 +309,17 @@ def validate_trace_record(record: Any) -> str:
             raise TraceValidationError(
                 f"{kind} field {name!r} has wrong type {type(value).__name__}"
             )
-    if kind == "span" and not all(
-        isinstance(keyword, str) for keyword in record["keywords"]
-    ):
-        raise TraceValidationError("span field 'keywords' must be strings")
+    if kind == "span":
+        if not all(isinstance(keyword, str) for keyword in record["keywords"]):
+            raise TraceValidationError("span field 'keywords' must be strings")
+        for name, types in SPAN_OPTIONAL_SCHEMA.items():
+            if name not in record:
+                continue
+            value = record[name]
+            if isinstance(value, bool) or not isinstance(value, types):
+                raise TraceValidationError(
+                    f"span field {name!r} has wrong type {type(value).__name__}"
+                )
     return str(kind)
 
 

@@ -1,0 +1,173 @@
+"""The worker pool that evaluates a frontier batch of aliveness probes.
+
+Equivalence to the serial path is the design invariant, enforced in
+three places:
+
+1. **Admission order.**  The coordinating thread walks the batch in
+   submission order: cache lookups first (free, always served), then one
+   ``budget.admit()`` per miss *before* the probe is handed to a worker.
+   ``admit`` reserves a query-axis slot, so ``max_queries=K`` can never
+   let more than K probes reach the backend even with K admissions in
+   flight at once; the first refusal truncates the batch exactly where a
+   serial ``is_alive`` loop would have raised.
+
+2. **Barrier application.**  Workers only run the timed backend call
+   (:meth:`~repro.relational.evaluator.InstrumentedEvaluator.execute_probe`);
+   stats, cache inserts, and trace spans are applied by the coordinator
+   in submission order once the batch settles.  Callers then apply the
+   results to their :class:`~repro.core.status.StatusStore` in that same
+   order, so R1/R2 propagation never races and a parallel sweep's store
+   is bit-identical to a serial sweep's.
+
+3. **Duplicate collapsing.**  If one batch contains the same bound query
+   twice and the evaluator caches, the second occurrence aliases the
+   first probe's future and is counted as a cache hit -- the numbers a
+   serial loop would report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.budget import ProbeBudgetExhausted
+from repro.relational.evaluator import (
+    InstrumentedEvaluator,
+    ProbeBatch,
+    ProbeOutcome,
+)
+from repro.relational.jointree import BoundQuery
+
+DEFAULT_WORKERS = 4
+
+
+@dataclass
+class _BatchEntry:
+    """One submitted probe: a cache hit, a pool future, or an alias."""
+
+    query: BoundQuery
+    hit: bool | None = None
+    future: "Future[ProbeOutcome] | None" = None
+    alias: bool = False
+
+
+class ParallelProbeExecutor:
+    """Evaluates batches of implication-independent probes on N workers.
+
+    One executor owns one ``ThreadPoolExecutor`` and may serve many
+    evaluators and traversal runs over its lifetime; close it (or use it
+    as a context manager) to release the threads.
+    """
+
+    def __init__(self, workers: int = DEFAULT_WORKERS):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-probe"
+        )
+        self._worker_ids = itertools.count()
+        self._local = threading.local()
+        self._closed = False
+
+    # ------------------------------------------------------------ identity
+    def _worker_id(self) -> int:
+        """Stable small integer per pool thread (for trace spans)."""
+        worker_id = getattr(self._local, "worker_id", None)
+        if worker_id is None:
+            worker_id = next(self._worker_ids)
+            self._local.worker_id = worker_id
+        return int(worker_id)
+
+    def _worker_probe(
+        self,
+        evaluator: InstrumentedEvaluator,
+        query: BoundQuery,
+        submitted_at: float,
+    ) -> ProbeOutcome:
+        queue_wait = time.perf_counter() - submitted_at
+        return evaluator.execute_probe(
+            query, worker_id=self._worker_id(), queue_wait_s=queue_wait
+        )
+
+    # ------------------------------------------------------------- batches
+    def run_batch(
+        self, evaluator: InstrumentedEvaluator, queries: Sequence[BoundQuery]
+    ) -> ProbeBatch:
+        """Evaluate ``queries`` concurrently; results in submission order.
+
+        Returns a :class:`ProbeBatch` whose ``results`` answer a prefix of
+        ``queries``; ``exhausted`` marks a mid-batch budget refusal (the
+        suffix after the refusal is untouched, exactly like the serial
+        path).  Backend exceptions propagate after every in-flight probe
+        settled, so the budget never leaks reservations.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        # Phase 1 -- submission, in deterministic order.
+        entries: list[_BatchEntry] = []
+        in_batch: set[BoundQuery] = set()
+        exhausted = False
+        for query in queries:
+            cached = evaluator.lookup_cached(query)
+            if cached is not None:
+                entries.append(_BatchEntry(query, hit=cached))
+                continue
+            if evaluator.use_cache and query in in_batch:
+                # A serial loop would answer the duplicate from the cache
+                # once the first occurrence executed; resolve at barrier.
+                entries.append(_BatchEntry(query, alias=True))
+                continue
+            try:
+                evaluator.admit_probe()
+            except ProbeBudgetExhausted:
+                exhausted = True
+                break
+            future = self._pool.submit(
+                self._worker_probe, evaluator, query, time.perf_counter()
+            )
+            in_batch.add(query)
+            entries.append(_BatchEntry(query, future=future))
+        # Phase 2 -- barrier: apply outcomes in submission order.
+        batch = ProbeBatch(exhausted=exhausted)
+        error: BaseException | None = None
+        for entry in entries:
+            if entry.hit is not None:
+                batch.results.append(entry.hit)
+            elif entry.future is not None:
+                try:
+                    outcome = entry.future.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if error is None:
+                        error = exc
+                    continue
+                batch.results.append(evaluator.apply_probe(entry.query, outcome))
+            else:  # alias: the original resolved above and filled the cache
+                cached = evaluator.lookup_cached(entry.query)
+                if cached is None:  # pragma: no cover - original probe failed
+                    continue
+                batch.results.append(cached)
+        if error is not None:
+            raise error
+        return batch
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelProbeExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"ParallelProbeExecutor(workers={self.workers}, {state})"

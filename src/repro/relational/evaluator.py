@@ -8,17 +8,31 @@ All of the paper's run-time metrics are defined here:
 * **response time** (Figures 12, 14, 15) -- both measured wall time and a
   deterministic *simulated* time from a pluggable cost model, so figure
   shapes are reproducible across machines.
+
+The evaluator is safe to call from multiple threads: the aliveness cache
+(a bounded LRU) and the stats counters are guarded by one internal lock,
+and the probe lifecycle is split into admit / execute / apply steps so a
+:class:`~repro.parallel.ParallelProbeExecutor` can run the execute step
+on worker threads while admission and result application stay in
+deterministic submission order on the coordinating thread.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Protocol, Sequence
 
 from repro.obs.budget import ProbeBudget, ProbeBudgetExhausted
 from repro.obs.trace import ProbeTracer
 from repro.relational.jointree import BoundQuery
+
+#: Default LRU capacity of the aliveness cache -- generous (a level-7
+#: DBLife exploration graph has a few thousand nodes) but bounded, so a
+#: long-lived evaluator serving many sessions cannot grow without limit.
+DEFAULT_CACHE_CAPACITY = 65_536
 
 
 class AlivenessBackend(Protocol):
@@ -44,14 +58,18 @@ class EvaluationStats:
     wall_time: float = 0.0
     simulated_time: float = 0.0
     executed_by_level: dict[int, int] = field(default_factory=dict)
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     def snapshot(self) -> "EvaluationStats":
         return EvaluationStats(
-            self.queries_executed,
-            self.cache_hits,
-            self.wall_time,
-            self.simulated_time,
-            dict(self.executed_by_level),
+            queries_executed=self.queries_executed,
+            cache_hits=self.cache_hits,
+            wall_time=self.wall_time,
+            simulated_time=self.simulated_time,
+            executed_by_level=dict(self.executed_by_level),
+            cache_misses=self.cache_misses,
+            cache_evictions=self.cache_evictions,
         )
 
     def diff(self, earlier: "EvaluationStats") -> "EvaluationStats":
@@ -67,20 +85,66 @@ class EvaluationStats:
             for level in levels
         }
         return EvaluationStats(
-            self.queries_executed - earlier.queries_executed,
-            self.cache_hits - earlier.cache_hits,
-            self.wall_time - earlier.wall_time,
-            self.simulated_time - earlier.simulated_time,
-            {level: count for level, count in by_level.items() if count},
+            queries_executed=self.queries_executed - earlier.queries_executed,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            wall_time=self.wall_time - earlier.wall_time,
+            simulated_time=self.simulated_time - earlier.simulated_time,
+            executed_by_level={
+                level: count for level, count in by_level.items() if count
+            },
+            cache_misses=self.cache_misses - earlier.cache_misses,
+            cache_evictions=self.cache_evictions - earlier.cache_evictions,
         )
 
     def __str__(self) -> str:
+        cache = f"{self.cache_hits} cache hits / {self.cache_misses} misses"
+        if self.cache_evictions:
+            cache += f", {self.cache_evictions} evicted"
         return (
             f"{self.queries_executed} queries "
-            f"({self.cache_hits} cache hits), "
+            f"({cache}), "
             f"{self.wall_time * 1000:.1f} ms wall, "
             f"{self.simulated_time:.3f} s simulated"
         )
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """The measured result of one backend execution (charge already paid)."""
+
+    alive: bool
+    wall_seconds: float
+    simulated_seconds: float
+    worker_id: int | None = None
+    queue_wait_s: float | None = None
+
+
+@dataclass
+class ProbeBatch:
+    """Outcome of :meth:`InstrumentedEvaluator.probe_many`.
+
+    ``results`` aligns with a *prefix* of the submitted queries: when the
+    probe budget refused a probe mid-batch, everything before the refusal
+    is answered and ``exhausted`` is True -- exactly the state a serial
+    loop of ``is_alive`` calls leaves behind when the exception fires.
+    """
+
+    results: list[bool] = field(default_factory=list)
+    exhausted: bool = False
+
+
+class BatchExecutor(Protocol):
+    """Anything that can evaluate a batch of probes for an evaluator.
+
+    Implemented by :class:`repro.parallel.ParallelProbeExecutor`; the
+    protocol lives here so ``repro.relational`` needs no import of the
+    parallel machinery.
+    """
+
+    def run_batch(
+        self, evaluator: "InstrumentedEvaluator", queries: Sequence[BoundQuery]
+    ) -> ProbeBatch:  # pragma: no cover - protocol
+        ...
 
 
 class InstrumentedEvaluator:
@@ -91,6 +155,8 @@ class InstrumentedEvaluator:
     from the cache without touching the backend.  Non-reuse strategies (BU,
     TD) construct their evaluator with ``use_cache=False`` so that shared
     sub-queries are re-executed per MTN, exactly as the paper measures them.
+    The cache is a bounded LRU (``cache_capacity`` entries, ``None`` =
+    unbounded); hits, misses, and evictions are all counted in ``stats``.
 
     A ``budget`` caps the work spent here: cache hits are always free,
     but each backend execution must be admitted first and is charged
@@ -106,14 +172,19 @@ class InstrumentedEvaluator:
         use_cache: bool = True,
         budget: ProbeBudget | None = None,
         tracer: ProbeTracer | None = None,
+        cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
     ):
+        if cache_capacity is not None and cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive (or None)")
         self.backend = backend
         self.cost_model = cost_model
         self.use_cache = use_cache
         self.budget = budget
         self.tracer = tracer
+        self.cache_capacity = cache_capacity
         self.stats = EvaluationStats()
-        self._cache: dict[BoundQuery, bool] = {}
+        self._cache: OrderedDict[BoundQuery, bool] = OrderedDict()
+        self._lock = threading.Lock()
 
     def _trace(
         self,
@@ -122,6 +193,8 @@ class InstrumentedEvaluator:
         cache_hit: bool,
         wall: float,
         simulated: float,
+        worker_id: int | None = None,
+        queue_wait_s: float | None = None,
     ) -> None:
         assert self.tracer is not None
         self.tracer.record_probe(
@@ -135,8 +208,112 @@ class InstrumentedEvaluator:
             budget_remaining=(
                 self.budget.remaining_queries() if self.budget is not None else None
             ),
+            worker_id=worker_id,
+            queue_wait_s=queue_wait_s,
         )
 
+    # --------------------------------------------------- probe lifecycle
+    def lookup_cached(self, query: BoundQuery) -> bool | None:
+        """Serve ``query`` from the reuse cache, counting a hit + span.
+
+        Returns ``None`` on a miss (or when caching is off); the miss is
+        *not* counted here -- it is counted when the execution is applied,
+        so refused probes never inflate the miss counter.
+        """
+        if not self.use_cache:
+            return None
+        with self._lock:
+            cached = self._cache.get(query)
+            if cached is None:
+                return None
+            self._cache.move_to_end(query)
+            self.stats.cache_hits += 1
+        if self.tracer is not None:
+            self._trace(query, cached, cache_hit=True, wall=0.0, simulated=0.0)
+        return cached
+
+    def admit_probe(self) -> None:
+        """Reserve one backend execution with the budget (raise if spent)."""
+        if self.budget is None:
+            return
+        try:
+            self.budget.admit()
+        except ProbeBudgetExhausted:
+            if self.tracer is not None:
+                self.tracer.record_event(
+                    "budget_exhausted", budget=self.budget.describe()
+                )
+            raise
+
+    def execute_probe(
+        self,
+        query: BoundQuery,
+        worker_id: int | None = None,
+        queue_wait_s: float | None = None,
+    ) -> ProbeOutcome:
+        """Run one admitted probe against the backend and charge the budget.
+
+        Thread-safe and side-effect-free on the evaluator itself (stats,
+        cache, and trace are updated by :meth:`apply_probe`); this is the
+        only step :class:`~repro.parallel.ParallelProbeExecutor` runs on
+        worker threads.  The budget reservation taken by
+        :meth:`admit_probe` is cancelled if the backend raises.
+        """
+        started = time.perf_counter()
+        try:
+            alive = self.backend.is_alive(query)
+            wall = time.perf_counter() - started
+            simulated = 0.0
+            if self.cost_model is not None:
+                simulated = self.cost_model.cost(query)
+        except BaseException:
+            if self.budget is not None:
+                self.budget.cancel()
+            raise
+        if self.budget is not None:
+            self.budget.charge(wall_seconds=wall, simulated_seconds=simulated)
+        return ProbeOutcome(
+            alive=alive,
+            wall_seconds=wall,
+            simulated_seconds=simulated,
+            worker_id=worker_id,
+            queue_wait_s=queue_wait_s,
+        )
+
+    def apply_probe(self, query: BoundQuery, outcome: ProbeOutcome) -> bool:
+        """Fold one executed probe into stats, cache, and trace."""
+        level = query.tree.size
+        with self._lock:
+            self.stats.queries_executed += 1
+            if self.use_cache:
+                self.stats.cache_misses += 1
+            self.stats.wall_time += outcome.wall_seconds
+            self.stats.simulated_time += outcome.simulated_seconds
+            self.stats.executed_by_level[level] = (
+                self.stats.executed_by_level.get(level, 0) + 1
+            )
+            if self.use_cache:
+                self._cache[query] = outcome.alive
+                self._cache.move_to_end(query)
+                if (
+                    self.cache_capacity is not None
+                    and len(self._cache) > self.cache_capacity
+                ):
+                    self._cache.popitem(last=False)
+                    self.stats.cache_evictions += 1
+        if self.tracer is not None:
+            self._trace(
+                query,
+                outcome.alive,
+                cache_hit=False,
+                wall=outcome.wall_seconds,
+                simulated=outcome.simulated_seconds,
+                worker_id=outcome.worker_id,
+                queue_wait_s=outcome.queue_wait_s,
+            )
+        return outcome.alive
+
+    # ----------------------------------------------------------- probing
     def is_alive(self, query: BoundQuery) -> bool:
         """Answer an aliveness probe, counting one executed query on a miss.
 
@@ -144,49 +321,48 @@ class InstrumentedEvaluator:
         touching the backend when the budget is spent; cached answers are
         served regardless (they cost nothing).
         """
-        if self.use_cache:
-            cached = self._cache.get(query)
-            if cached is not None:
-                self.stats.cache_hits += 1
-                if self.tracer is not None:
-                    self._trace(query, cached, cache_hit=True, wall=0.0, simulated=0.0)
-                return cached
-        if self.budget is not None:
-            try:
-                self.budget.admit()
-            except ProbeBudgetExhausted:
-                if self.tracer is not None:
-                    self.tracer.record_event(
-                        "budget_exhausted", budget=self.budget.describe()
-                    )
-                raise
-        started = time.perf_counter()
-        alive = self.backend.is_alive(query)
-        wall = time.perf_counter() - started
-        self.stats.wall_time += wall
-        self.stats.queries_executed += 1
-        level = query.tree.size
-        self.stats.executed_by_level[level] = (
-            self.stats.executed_by_level.get(level, 0) + 1
-        )
-        simulated = 0.0
-        if self.cost_model is not None:
-            simulated = self.cost_model.cost(query)
-            self.stats.simulated_time += simulated
-        if self.budget is not None:
-            self.budget.charge(wall_seconds=wall, simulated_seconds=simulated)
-        if self.tracer is not None:
-            self._trace(query, alive, cache_hit=False, wall=wall, simulated=simulated)
-        if self.use_cache:
-            self._cache[query] = alive
-        return alive
+        cached = self.lookup_cached(query)
+        if cached is not None:
+            return cached
+        self.admit_probe()
+        outcome = self.execute_probe(query)
+        return self.apply_probe(query, outcome)
 
+    def probe_many(
+        self,
+        queries: Sequence[BoundQuery],
+        executor: BatchExecutor | None = None,
+    ) -> ProbeBatch:
+        """Evaluate a batch of independent probes, budget-safely.
+
+        Without an ``executor`` this is a serial loop of :meth:`is_alive`
+        that converts a mid-batch budget refusal into a truncated
+        ``ProbeBatch`` instead of an exception, so callers can apply the
+        answered prefix before propagating exhaustion.  With an executor
+        the batch is fanned out over its worker pool under the exact same
+        admission order, producing byte-identical results and counts.
+        """
+        if executor is not None:
+            return executor.run_batch(self, queries)
+        batch = ProbeBatch()
+        for query in queries:
+            try:
+                batch.results.append(self.is_alive(query))
+            except ProbeBudgetExhausted:
+                batch.exhausted = True
+                break
+        return batch
+
+    # --------------------------------------------------------- housekeeping
     def reset_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def reset_stats(self) -> None:
-        self.stats = EvaluationStats()
+        with self._lock:
+            self.stats = EvaluationStats()
 
     @property
     def cache_size(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)

@@ -4,11 +4,21 @@ This backend exists to demonstrate that the system's queries are ordinary
 SQL (the paper ran them on PostgreSQL via JDBC) and to cross-check the
 in-memory engine: property tests assert both agree on aliveness for random
 trees and databases.
+
+``sqlite3`` connections must not cross threads, so a naive single
+connection crashes the moment a :class:`~repro.parallel.ParallelProbeExecutor`
+fans probes out.  The engine therefore mirrors the database into a named
+shared-cache in-memory sqlite instance and checks out one connection per
+thread on demand; all connections see the same loaded data, and every
+read path (:meth:`is_alive`, :meth:`count`, :meth:`fetch`) goes through
+the calling thread's own connection.
 """
 
 from __future__ import annotations
 
+import itertools
 import sqlite3
+import threading
 from typing import Any
 
 from repro.relational.database import Database
@@ -16,6 +26,10 @@ from repro.relational.identifiers import quote_identifier
 from repro.relational.jointree import BoundQuery
 from repro.relational.predicates import MatchMode, cell_matches
 from repro.relational.sql import render_ddl, render_existence_check, render_sql
+
+#: Distinguishes the shared-cache memory databases of engines living in
+#: the same process (the URI name is process-global in sqlite).
+_ENGINE_IDS = itertools.count()
 
 
 def _token_match(keyword: str, text: Any) -> int:
@@ -31,12 +45,50 @@ class SqliteEngine:
     def __init__(self, database: Database):
         self.database = database
         self.schema = database.schema
-        self.connection = sqlite3.connect(":memory:")
-        self.connection.create_function("TOKEN_MATCH", 2, _token_match)
-        self._load()
+        self._uri = (
+            f"file:repro-sqlite-{next(_ENGINE_IDS)}?mode=memory&cache=shared"
+        )
+        self._local = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        # The creating thread's connection anchors the shared-cache
+        # database: as long as one connection stays open the data lives.
+        self._load(self.connection)
 
-    def _load(self) -> None:
-        cursor = self.connection.cursor()
+    def _connect(self) -> sqlite3.Connection:
+        # check_same_thread=False so close() can reap every connection
+        # from one thread; each connection is otherwise only *used* by
+        # the thread that checked it out.
+        connection = sqlite3.connect(
+            self._uri, uri=True, check_same_thread=False
+        )
+        connection.create_function("TOKEN_MATCH", 2, _token_match)
+        with self._lock:
+            self._connections.append(connection)
+        return connection
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The calling thread's own connection (created on first use)."""
+        if self._closed:
+            raise sqlite3.ProgrammingError("Cannot operate on a closed engine.")
+        connection: sqlite3.Connection | None = getattr(
+            self._local, "connection", None
+        )
+        if connection is None:
+            connection = self._connect()
+            self._local.connection = connection
+        return connection
+
+    @property
+    def connection_count(self) -> int:
+        """Connections checked out so far (one per thread that probed)."""
+        with self._lock:
+            return len(self._connections)
+
+    def _load(self, connection: sqlite3.Connection) -> None:
+        cursor = connection.cursor()
         for statement in render_ddl(self.schema):
             cursor.execute(statement)
         for table in self.database.iter_tables():
@@ -48,7 +100,7 @@ class SqliteEngine:
                 f"VALUES ({placeholders})",
                 list(table),
             )
-        self.connection.commit()
+        connection.commit()
 
     # ------------------------------------------------------------ interface
     def is_alive(self, query: BoundQuery) -> bool:
@@ -67,7 +119,13 @@ class SqliteEngine:
         return list(self.connection.execute(sql))
 
     def close(self) -> None:
-        self.connection.close()
+        """Close every checked-out connection (drops the shared memory DB)."""
+        self._closed = True
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            connection.close()
+        self._local = threading.local()
 
     def __enter__(self) -> "SqliteEngine":
         return self

@@ -1,0 +1,430 @@
+"""Tests for parallel probe execution: worker pool, budget cap, LRU, traces."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.bench.parallel import run_parallel_bench
+from repro.core.traversal import STRATEGY_NAMES
+from repro.obs import (
+    ProbeBudget,
+    ProbeBudgetExhausted,
+    ProbeTracer,
+    validate_trace_record,
+)
+from repro.parallel import ParallelProbeExecutor, SimulatedLatencyBackend
+from repro.relational.evaluator import (
+    EvaluationStats,
+    InstrumentedEvaluator,
+    ProbeBatch,
+)
+from repro.relational.jointree import BoundQuery, JoinTree, RelationInstance
+from repro.relational.sqlite_backend import SqliteEngine
+
+
+class FakeBackend:
+    """Counts calls; aliveness is determined by the bound keyword."""
+
+    def __init__(self, delay: float = 0.0):
+        self.calls = 0
+        self.delay = delay
+        self._lock = threading.Lock()
+
+    def is_alive(self, query):
+        with self._lock:
+            self.calls += 1
+        if self.delay:
+            time.sleep(self.delay)
+        return any("alive" in keyword for keyword in query.keywords)
+
+
+class ExplodingBackend(FakeBackend):
+    """Raises on keywords containing 'boom'."""
+
+    def is_alive(self, query):
+        if any("boom" in keyword for keyword in query.keywords):
+            with self._lock:
+                self.calls += 1
+            raise RuntimeError("backend down")
+        return super().is_alive(query)
+
+
+def query(keyword: str) -> BoundQuery:
+    tree = JoinTree.single(RelationInstance("R", 1))
+    return BoundQuery.from_mapping(tree, {RelationInstance("R", 1): keyword})
+
+
+def queries(count: int, prefix: str = "kw") -> list[BoundQuery]:
+    return [query(f"{prefix}-{index}") for index in range(count)]
+
+
+# ----------------------------------------------------------------- sqlite
+class TestSqliteThreadSafety:
+    def test_concurrent_is_alive_matches_serial(self, products_debugger):
+        """Regression: concurrent probes must not raise ProgrammingError."""
+        mapping = products_debugger.map_keywords("saffron scented candle")
+        graph = products_debugger.build_graph(products_debugger.prune(mapping))
+        probes = [graph.node(index).query for index in range(len(graph))]
+        with SqliteEngine(products_debugger.database) as engine:
+            serial = [engine.is_alive(probe) for probe in probes]
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                concurrent = list(pool.map(engine.is_alive, probes * 4))
+            assert concurrent == serial * 4
+
+    def test_one_connection_per_thread(self, products_db):
+        with SqliteEngine(products_db) as engine:
+            assert engine.connection_count == 1
+            barrier = threading.Barrier(3)
+
+            def checkout():
+                barrier.wait(timeout=5)
+                return engine.connection
+
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                handles = list(pool.map(lambda _: checkout(), range(3)))
+            assert len(set(map(id, handles))) == 3
+            assert engine.connection_count == 4
+
+    def test_closed_engine_refuses_new_connections(self, products_db):
+        import sqlite3
+
+        engine = SqliteEngine(products_db)
+        engine.close()
+        with pytest.raises(sqlite3.ProgrammingError):
+            _ = engine.connection
+
+
+# ----------------------------------------------------------------- budget
+class TestBudgetUnderContention:
+    def test_max_queries_is_a_hard_cap(self):
+        """8 workers racing for a 5-probe budget execute exactly 5 probes."""
+        backend = FakeBackend(delay=0.005)
+        budget = ProbeBudget(max_queries=5)
+        evaluator = InstrumentedEvaluator(backend, use_cache=False, budget=budget)
+        with ParallelProbeExecutor(workers=8) as executor:
+            batch = evaluator.probe_many(queries(20), executor=executor)
+        assert batch.exhausted
+        assert len(batch.results) == 5
+        assert backend.calls == 5
+        assert evaluator.stats.queries_executed == 5
+        assert budget.queries_used == 5
+        assert budget.in_flight == 0
+
+    def test_backend_error_releases_reservation(self):
+        backend = ExplodingBackend()
+        budget = ProbeBudget(max_queries=2)
+        evaluator = InstrumentedEvaluator(backend, use_cache=False, budget=budget)
+        with ParallelProbeExecutor(workers=2) as executor:
+            with pytest.raises(RuntimeError, match="backend down"):
+                evaluator.probe_many([query("boom")], executor=executor)
+            assert budget.in_flight == 0
+            assert budget.queries_used == 0
+            # The freed slot is still usable afterwards.
+            batch = evaluator.probe_many(queries(3), executor=executor)
+        assert len(batch.results) == 2 and batch.exhausted
+
+    def test_serial_probe_many_truncates_on_exhaustion(self):
+        backend = FakeBackend()
+        budget = ProbeBudget(max_queries=3)
+        evaluator = InstrumentedEvaluator(backend, use_cache=False, budget=budget)
+        batch = evaluator.probe_many(queries(6))
+        assert batch.exhausted
+        assert len(batch.results) == 3
+        assert backend.calls == 3
+
+    def test_admission_order_is_submission_order(self):
+        """The executed prefix under a budget is the batch's own prefix."""
+        backend = FakeBackend(delay=0.002)
+        budget = ProbeBudget(max_queries=4)
+        evaluator = InstrumentedEvaluator(backend, budget=budget)
+        probes = [query(f"alive-{index}") for index in range(8)]
+        with ParallelProbeExecutor(workers=4) as executor:
+            batch = evaluator.probe_many(probes, executor=executor)
+        serial_evaluator = InstrumentedEvaluator(
+            FakeBackend(), budget=ProbeBudget(max_queries=4)
+        )
+        serial = serial_evaluator.probe_many(probes)
+        assert batch.results == serial.results
+        assert batch.exhausted and serial.exhausted
+
+
+# -------------------------------------------------------------- LRU cache
+class TestBoundedCache:
+    def test_capacity_evicts_least_recently_used(self):
+        backend = FakeBackend()
+        evaluator = InstrumentedEvaluator(backend, cache_capacity=2)
+        first, second, third = queries(3)
+        evaluator.is_alive(first)
+        evaluator.is_alive(second)
+        evaluator.is_alive(third)  # evicts `first`
+        assert evaluator.cache_size == 2
+        assert evaluator.stats.cache_evictions == 1
+        evaluator.is_alive(first)  # re-executes: it was evicted
+        assert backend.calls == 4
+        evaluator.is_alive(third)  # still cached
+        assert backend.calls == 4
+        assert evaluator.stats.cache_hits == 1
+
+    def test_hit_refreshes_recency(self):
+        backend = FakeBackend()
+        evaluator = InstrumentedEvaluator(backend, cache_capacity=2)
+        first, second, third = queries(3)
+        evaluator.is_alive(first)
+        evaluator.is_alive(second)
+        evaluator.is_alive(first)  # hit: `first` becomes most recent
+        evaluator.is_alive(third)  # evicts `second`, not `first`
+        evaluator.is_alive(first)
+        assert backend.calls == 3
+        assert evaluator.stats.cache_hits == 2
+
+    def test_miss_and_eviction_counters_in_str(self):
+        evaluator = InstrumentedEvaluator(FakeBackend(), cache_capacity=1)
+        evaluator.is_alive(query("a"))
+        evaluator.is_alive(query("b"))
+        text = str(evaluator.stats)
+        assert "2 queries" in text
+        assert "0 cache hits / 2 misses" in text
+        assert "1 evicted" in text
+
+    def test_counters_survive_snapshot_and_diff(self):
+        evaluator = InstrumentedEvaluator(FakeBackend(), cache_capacity=1)
+        evaluator.is_alive(query("a"))
+        before = evaluator.stats.snapshot()
+        evaluator.is_alive(query("b"))
+        evaluator.is_alive(query("b"))
+        delta = evaluator.stats.diff(before)
+        assert delta.cache_misses == 1
+        assert delta.cache_evictions == 1
+        assert delta.cache_hits == 1
+
+    def test_uncached_evaluator_counts_no_misses(self):
+        evaluator = InstrumentedEvaluator(FakeBackend(), use_cache=False)
+        evaluator.is_alive(query("a"))
+        assert evaluator.stats.cache_misses == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            InstrumentedEvaluator(FakeBackend(), cache_capacity=0)
+
+    def test_unbounded_cache_never_evicts(self):
+        evaluator = InstrumentedEvaluator(FakeBackend(), cache_capacity=None)
+        for probe in queries(50):
+            evaluator.is_alive(probe)
+        assert evaluator.cache_size == 50
+        assert evaluator.stats.cache_evictions == 0
+
+
+# ---------------------------------------------------------------- executor
+class TestParallelExecutor:
+    def test_duplicates_collapse_to_cache_hits(self):
+        backend = FakeBackend(delay=0.002)
+        evaluator = InstrumentedEvaluator(backend, use_cache=True)
+        probe = query("alive-dup")
+        with ParallelProbeExecutor(workers=4) as executor:
+            batch = evaluator.probe_many([probe, probe, probe], executor=executor)
+        assert batch.results == [True, True, True]
+        assert backend.calls == 1
+        assert evaluator.stats.queries_executed == 1
+        assert evaluator.stats.cache_hits == 2
+
+    def test_uncached_duplicates_all_execute(self):
+        backend = FakeBackend()
+        evaluator = InstrumentedEvaluator(backend, use_cache=False)
+        probe = query("alive-dup")
+        with ParallelProbeExecutor(workers=2) as executor:
+            batch = evaluator.probe_many([probe, probe], executor=executor)
+        assert batch.results == [True, True]
+        assert backend.calls == 2
+
+    def test_results_in_submission_order(self):
+        backend = FakeBackend(delay=0.001)
+        evaluator = InstrumentedEvaluator(backend, use_cache=False)
+        probes = [query("alive-a"), query("dead-b"), query("alive-c")]
+        with ParallelProbeExecutor(workers=3) as executor:
+            batch = evaluator.probe_many(probes, executor=executor)
+        assert batch.results == [True, False, True]
+
+    def test_empty_batch(self):
+        evaluator = InstrumentedEvaluator(FakeBackend())
+        with ParallelProbeExecutor(workers=2) as executor:
+            batch = evaluator.probe_many([], executor=executor)
+        assert batch == ProbeBatch()
+
+    def test_closed_executor_refuses_batches(self):
+        executor = ParallelProbeExecutor(workers=2)
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor.run_batch(InstrumentedEvaluator(FakeBackend()), [query("a")])
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelProbeExecutor(workers=0)
+
+    def test_overlapping_sleeps_actually_overlap(self):
+        """4 workers on 8 x 10ms probes must beat the 80ms serial floor."""
+        backend = FakeBackend(delay=0.010)
+        evaluator = InstrumentedEvaluator(backend, use_cache=False)
+        with ParallelProbeExecutor(workers=4) as executor:
+            started = time.perf_counter()
+            evaluator.probe_many(queries(8), executor=executor)
+            elapsed = time.perf_counter() - started
+        assert elapsed < 0.070
+
+
+# -------------------------------------------------------- latency backend
+class TestSimulatedLatencyBackend:
+    def test_delegates_answers(self):
+        backend = SimulatedLatencyBackend(FakeBackend(), latency=0.0)
+        assert backend.is_alive(query("alive")) is True
+        assert backend.is_alive(query("dead")) is False
+
+    def test_delay_includes_cost_model(self):
+        class Cost:
+            def cost(self, query):
+                return 2.0
+
+        backend = SimulatedLatencyBackend(
+            FakeBackend(), latency=0.001, cost_model=Cost(), cost_scale=0.01
+        )
+        assert backend.delay_for(query("a")) == pytest.approx(0.021)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedLatencyBackend(FakeBackend(), latency=-1.0)
+        with pytest.raises(ValueError):
+            SimulatedLatencyBackend(FakeBackend(), cost_scale=1.0)
+
+
+# ------------------------------------------------------------------ traces
+class TestWorkerTraceFields:
+    def test_spans_carry_worker_id_and_queue_wait(self):
+        tracer = ProbeTracer()
+        evaluator = InstrumentedEvaluator(
+            FakeBackend(delay=0.001), tracer=tracer, use_cache=False
+        )
+        with ParallelProbeExecutor(workers=2) as executor:
+            evaluator.probe_many(queries(4), executor=executor)
+        executed = [span for span in tracer.spans if not span.cache_hit]
+        assert len(executed) == 4
+        assert all(span.worker_id is not None for span in executed)
+        assert all(
+            span.queue_wait_s is not None and span.queue_wait_s >= 0.0
+            for span in executed
+        )
+        assert {span.worker_id for span in executed} <= {0, 1}
+
+    def test_serial_spans_omit_worker_fields(self):
+        tracer = ProbeTracer()
+        evaluator = InstrumentedEvaluator(FakeBackend(), tracer=tracer)
+        evaluator.is_alive(query("a"))
+        record = tracer.spans[0].to_dict()
+        assert "worker_id" not in record
+        assert "queue_wait_s" not in record
+
+    def test_parallel_records_validate(self):
+        tracer = ProbeTracer()
+        evaluator = InstrumentedEvaluator(
+            FakeBackend(), tracer=tracer, use_cache=True
+        )
+        with ParallelProbeExecutor(workers=2) as executor:
+            evaluator.probe_many(queries(3) + queries(3), executor=executor)
+        for record in tracer.records:
+            assert validate_trace_record(record.to_dict()) in ("span", "event")
+
+    def test_validation_rejects_bad_worker_types(self):
+        tracer = ProbeTracer()
+        evaluator = InstrumentedEvaluator(FakeBackend(), tracer=tracer)
+        evaluator.is_alive(query("a"))
+        record = tracer.spans[0].to_dict()
+        from repro.obs.trace import TraceValidationError
+
+        for bad in ({"worker_id": "3"}, {"worker_id": True}, {"queue_wait_s": "x"}):
+            with pytest.raises(TraceValidationError):
+                validate_trace_record({**record, **bad})
+
+    def test_aggregate_by_worker(self):
+        tracer = ProbeTracer()
+        evaluator = InstrumentedEvaluator(
+            FakeBackend(delay=0.001), tracer=tracer, use_cache=False
+        )
+        with ParallelProbeExecutor(workers=2) as executor:
+            evaluator.probe_many(queries(6), executor=executor)
+        rows = tracer.aggregate("worker_id")
+        assert sum(row["executed"] for row in rows) == 6
+
+
+# ------------------------------------------------- traversal equivalence
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_parallel_run_matches_serial(self, products_debugger, name):
+        serial = products_debugger.debug("saffron scented candle", strategy=name)
+        parallel = products_debugger.debug(
+            "saffron scented candle", strategy=name, workers=3
+        )
+        assert (
+            parallel.traversal.classification_signature()
+            == serial.traversal.classification_signature()
+        )
+        assert (
+            parallel.traversal.stats.queries_executed
+            == serial.traversal.stats.queries_executed
+        )
+
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_budgeted_parallel_never_exceeds_cap(self, products_debugger, name):
+        report = products_debugger.debug(
+            "saffron scented candle",
+            strategy=name,
+            budget=ProbeBudget(max_queries=3),
+            workers=4,
+        )
+        assert report.traversal.stats.queries_executed <= 3
+        serial = products_debugger.debug(
+            "saffron scented candle",
+            strategy=name,
+            budget=ProbeBudget(max_queries=3),
+        )
+        assert (
+            report.traversal.classification_signature()
+            == serial.traversal.classification_signature()
+        )
+
+    def test_shared_executor_across_strategies(self, products_debugger):
+        with ParallelProbeExecutor(workers=2) as executor:
+            for name in ("buwr", "tdwr"):
+                serial = products_debugger.debug(
+                    "saffron scented candle", strategy=name
+                )
+                shared = products_debugger.debug(
+                    "saffron scented candle", strategy=name, executor=executor
+                )
+                assert (
+                    shared.traversal.classification_signature()
+                    == serial.traversal.classification_signature()
+                )
+
+
+# ------------------------------------------------------------------- bench
+class TestParallelBenchSmoke:
+    def test_bench_verifies_equivalence_and_budget(self):
+        from repro.bench.context import BenchContext
+
+        table, payload = run_parallel_bench(
+            BenchContext(),
+            level=2,
+            workers=2,
+            latency=0.0002,
+            strategies=("buwr", "sbh"),
+            budget_queries=2,
+        )
+        assert payload["signatures_match"] is True
+        assert payload["budget_respected"] is True
+        assert set(payload["strategies"]) == {"buwr", "sbh"}
+        for entry in payload["strategies"].values():
+            assert entry["serial_queries"] == entry["parallel_queries"]
+        rendered = table.render()
+        assert "buwr" in rendered and "sbh" in rendered
