@@ -1,0 +1,96 @@
+"""Shared conformance suite every registered backend must pass.
+
+The registry lets anything claim to be a backend; this module is the
+teeth.  :func:`check_backend` builds the named backend, replays a set of
+probes whose ground truth comes from the in-memory engine, and verifies
+each *declared* capability actually holds: thread-safe backends answer a
+concurrent storm identically to the serial pass, enumerating backends
+agree between ``count`` and ``is_alive``, pooling backends expose pool
+stats and respect their cap.  CI runs it for every registered name, so
+a new backend (or a regression in an old one) fails loudly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.backends.base import EnumeratingBackend
+from repro.backends.registry import create_backend, get_backend_spec
+from repro.relational.database import Database
+from repro.relational.engine import InMemoryEngine
+from repro.relational.jointree import BoundQuery
+
+#: Worker count of the concurrent storm a thread-safe backend must survive.
+CONFORMANCE_WORKERS = 8
+
+
+class ConformanceFailure(AssertionError):
+    """A backend violated the contract its registration declares."""
+
+
+def _fail(name: str, message: str) -> None:
+    raise ConformanceFailure(f"backend {name!r}: {message}")
+
+
+def check_backend(
+    name: str,
+    database: Database,
+    probes: Sequence[BoundQuery],
+    repeat: int = 3,
+) -> dict[str, int]:
+    """Run the conformance suite; returns check counters, raises on failure."""
+    if not probes:
+        raise ValueError("conformance needs at least one probe")
+    spec = get_backend_spec(name)
+    truth_engine = InMemoryEngine(database)
+    truth = [truth_engine.is_alive(query) for query in probes]
+    backend = create_backend(name, database)
+    checks = {"probes": 0, "concurrent": 0, "counts": 0}
+    try:
+        # 1. Correctness: answers match the in-memory ground truth.
+        for query, expected in zip(probes, truth):
+            if backend.is_alive(query) != expected:
+                _fail(name, f"wrong aliveness for {query.describe()}")
+            checks["probes"] += 1
+
+        # 2. Declared thread safety: a concurrent storm matches serial.
+        if spec.capabilities.thread_safe:
+            storm = list(probes) * repeat
+            with ThreadPoolExecutor(max_workers=CONFORMANCE_WORKERS) as pool:
+                answers = list(pool.map(backend.is_alive, storm))
+            if answers != truth * repeat:
+                _fail(name, "concurrent answers diverge from serial")
+            checks["concurrent"] = len(storm)
+
+        # 3. Declared enumeration: count agrees with aliveness.
+        if spec.capabilities.enumeration:
+            if not isinstance(backend, EnumeratingBackend):
+                _fail(name, "declares enumeration but has no count()")
+            for query, expected in zip(probes, truth):
+                count = backend.count(query)  # type: ignore[attr-defined]
+                if (count > 0) != expected:
+                    _fail(
+                        name,
+                        f"count()={count} contradicts aliveness "
+                        f"{expected} for {query.describe()}",
+                    )
+                checks["counts"] += 1
+
+        # 4. Declared pooling: pool stats exist and the cap held.
+        if spec.capabilities.pooling:
+            stats = getattr(backend, "pool_stats", None)
+            if stats is None:
+                _fail(name, "declares pooling but exposes no pool_stats")
+            snapshot = stats() if callable(stats) else stats
+            if snapshot.max_in_use > getattr(backend, "pool_size", 1 << 30):
+                _fail(
+                    name,
+                    f"pool peak {snapshot.max_in_use} exceeded its cap",
+                )
+    finally:
+        closer = getattr(backend, "close", None)
+        if callable(closer):
+            closer()
+            closer()  # close must be idempotent
+    return checks

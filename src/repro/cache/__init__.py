@@ -1,0 +1,33 @@
+"""Persistent cross-session probe cache (the L2 tier).
+
+Two tiers serve aliveness probes before the backend does:
+
+* **L1** -- the evaluator's bounded in-process LRU (what the paper calls
+  *reuse*), per evaluator, dies with the process;
+* **L2** -- :class:`ProbeCache`, a sqlite file keyed by canonical query
+  code + dataset fingerprint, shared by every session pointed at the
+  same ``--cache-dir``.
+
+See :mod:`repro.cache.store` for the store and invalidation semantics
+and :mod:`repro.cache.keys` for the canonical key construction.
+"""
+
+from repro.cache.keys import query_cache_key
+from repro.cache.store import (
+    PROBE_CACHE_FILENAME,
+    ProbeCache,
+    ProbeCacheError,
+    ProbeCacheStats,
+    clear_cache_dir,
+    inspect_cache_dir,
+)
+
+__all__ = [
+    "query_cache_key",
+    "PROBE_CACHE_FILENAME",
+    "ProbeCache",
+    "ProbeCacheError",
+    "ProbeCacheStats",
+    "clear_cache_dir",
+    "inspect_cache_dir",
+]

@@ -1,0 +1,266 @@
+"""The persistent probe-result store: the L2 tier of the two-tier cache.
+
+The paper treats Phase 0 as "computed offline ... a one-time cost"
+(§3.1), but probe results -- the expensive part on a DISCOVER-style
+engine, where each candidate network is a real SQL round-trip -- died
+with the process.  :class:`ProbeCache` persists them in a small sqlite
+file keyed by
+
+* the **dataset fingerprint** (:meth:`Database.fingerprint`, a content
+  hash): the namespace.  Rows under a stale fingerprint are evicted on
+  attach, so mutating the dataset invalidates everything cached for it.
+* the **canonical query key** (:func:`query_cache_key`): the row key,
+  stable across processes and isomorphic relabelings.
+
+The evaluator consults it only after missing its in-process LRU (L1) and
+writes through on every executed probe, so a second debugging session
+over an unchanged database starts warm: previously probed nodes cost
+zero backend queries and classifications are byte-identical.
+
+All methods are thread-safe (one internal lock around one connection);
+the coordinator thread does all L2 traffic under the parallel executor,
+but interactive sessions may probe from arbitrary threads.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cache.keys import query_cache_key
+from repro.relational.jointree import BoundQuery
+from repro.relational.schema import SchemaGraph
+
+#: File name used inside a ``--cache-dir`` directory.
+PROBE_CACHE_FILENAME = "probes.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS probes (
+    fingerprint TEXT NOT NULL,
+    query_key   TEXT NOT NULL,
+    alive       INTEGER NOT NULL,
+    PRIMARY KEY (fingerprint, query_key)
+) WITHOUT ROWID
+"""
+
+
+class ProbeCacheError(RuntimeError):
+    """Raised on operations against a closed or unusable cache."""
+
+
+@dataclass(frozen=True)
+class ProbeCacheStats:
+    """Counters of one :class:`ProbeCache` (session + file)."""
+
+    path: str
+    fingerprint: str
+    entries: int
+    stale_evicted: int
+    hits: int
+    misses: int
+    writes: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.entries} cached probes ({self.hits} hits / "
+            f"{self.misses} misses this session, {self.writes} writes, "
+            f"{self.stale_evicted} stale evicted)"
+        )
+
+
+class ProbeCache:
+    """Persistent ``query -> aliveness`` store for one dataset fingerprint.
+
+    Implements the :class:`~repro.backends.base.ProbeStore` protocol the
+    evaluator consumes.  ``evict_stale=True`` (the default) drops every
+    row recorded under a *different* fingerprint at attach time: the
+    cache file tracks one slowly-changing database, and stale answers
+    are worse than no answers.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        schema: SchemaGraph,
+        fingerprint: str,
+        evict_stale: bool = True,
+    ):
+        self.path = Path(path)
+        self.schema = schema
+        self.fingerprint = fingerprint
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._closed = False
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.stale_evicted = 0
+        try:
+            self._connection = sqlite3.connect(
+                str(self.path), check_same_thread=False
+            )
+            self._connection.execute(_SCHEMA)
+            if evict_stale:
+                cursor = self._connection.execute(
+                    "DELETE FROM probes WHERE fingerprint != ?", (fingerprint,)
+                )
+                self.stale_evicted = cursor.rowcount if cursor.rowcount > 0 else 0
+            self._connection.commit()
+        except sqlite3.Error as exc:  # pragma: no cover - disk-level failures
+            raise ProbeCacheError(f"cannot open probe cache at {path}: {exc}")
+
+    @classmethod
+    def open_dir(
+        cls,
+        cache_dir: str | Path,
+        schema: SchemaGraph,
+        fingerprint: str,
+        evict_stale: bool = True,
+    ) -> "ProbeCache":
+        """Open (creating if needed) the cache file inside ``cache_dir``."""
+        return cls(
+            Path(cache_dir) / PROBE_CACHE_FILENAME,
+            schema,
+            fingerprint,
+            evict_stale=evict_stale,
+        )
+
+    # --------------------------------------------------------- ProbeStore
+    def key_of(self, query: BoundQuery) -> str:
+        return query_cache_key(query, self.schema)
+
+    def get(self, query: BoundQuery) -> bool | None:
+        """Cached aliveness of ``query`` under this fingerprint, or None."""
+        key = self.key_of(query)
+        with self._lock:
+            self._ensure_open()
+            row = self._connection.execute(
+                "SELECT alive FROM probes WHERE fingerprint = ? AND query_key = ?",
+                (self.fingerprint, key),
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return bool(row[0])
+
+    def put(self, query: BoundQuery, alive: bool) -> None:
+        """Record one probe result (idempotent; last write wins)."""
+        key = self.key_of(query)
+        with self._lock:
+            self._ensure_open()
+            self._connection.execute(
+                "INSERT OR REPLACE INTO probes (fingerprint, query_key, alive) "
+                "VALUES (?, ?, ?)",
+                (self.fingerprint, key, int(alive)),
+            )
+            self._connection.commit()
+            self.writes += 1
+
+    # ------------------------------------------------------- housekeeping
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ProbeCacheError("probe cache is closed")
+
+    def __len__(self) -> int:
+        """Entries stored under this cache's fingerprint."""
+        with self._lock:
+            self._ensure_open()
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM probes WHERE fingerprint = ?",
+                (self.fingerprint,),
+            ).fetchone()
+            return int(row[0])
+
+    def clear(self) -> int:
+        """Drop every entry (all fingerprints); returns rows removed."""
+        with self._lock:
+            self._ensure_open()
+            cursor = self._connection.execute("DELETE FROM probes")
+            self._connection.commit()
+            return cursor.rowcount if cursor.rowcount > 0 else 0
+
+    def stats(self) -> ProbeCacheStats:
+        return ProbeCacheStats(
+            path=str(self.path),
+            fingerprint=self.fingerprint,
+            entries=len(self),
+            stale_evicted=self.stale_evicted,
+            hits=self.hits,
+            misses=self.misses,
+            writes=self.writes,
+        )
+
+    def flush(self) -> None:
+        with self._lock:
+            self._ensure_open()
+            self._connection.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._connection.commit()
+            self._connection.close()
+
+    def __enter__(self) -> "ProbeCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"ProbeCache({str(self.path)!r}, {state})"
+
+
+# ---------------------------------------------------------- file-level ops
+def inspect_cache_dir(cache_dir: str | Path) -> dict[str, object]:
+    """Summary of a cache directory without needing schema or fingerprint.
+
+    Used by ``repro cache stats``: reports the file, total entries, and
+    per-fingerprint entry counts (a healthy cache has exactly one).
+    """
+    path = Path(cache_dir) / PROBE_CACHE_FILENAME
+    if not path.exists():
+        return {"path": str(path), "exists": False, "entries": 0, "fingerprints": {}}
+    connection = sqlite3.connect(str(path))
+    try:
+        rows = connection.execute(
+            "SELECT fingerprint, COUNT(*), SUM(alive) FROM probes "
+            "GROUP BY fingerprint ORDER BY fingerprint"
+        ).fetchall()
+    except sqlite3.Error as exc:
+        raise ProbeCacheError(f"{path} is not a probe cache file: {exc}")
+    finally:
+        connection.close()
+    fingerprints = {
+        fingerprint: {"entries": int(count), "alive": int(alive or 0)}
+        for fingerprint, count, alive in rows
+    }
+    return {
+        "path": str(path),
+        "exists": True,
+        "size_bytes": path.stat().st_size,
+        "entries": sum(entry["entries"] for entry in fingerprints.values()),
+        "fingerprints": fingerprints,
+    }
+
+
+def clear_cache_dir(cache_dir: str | Path) -> int:
+    """Drop every cached probe in ``cache_dir``; returns rows removed."""
+    path = Path(cache_dir) / PROBE_CACHE_FILENAME
+    if not path.exists():
+        return 0
+    connection = sqlite3.connect(str(path))
+    try:
+        cursor = connection.execute("DELETE FROM probes")
+        connection.commit()
+        return cursor.rowcount if cursor.rowcount > 0 else 0
+    except sqlite3.Error as exc:
+        raise ProbeCacheError(f"{path} is not a probe cache file: {exc}")
+    finally:
+        connection.close()

@@ -6,8 +6,10 @@ Subcommands::
     repro search "widom trio" --dataset dblife       # classic KWS-S view
     repro trace "red candle" --budget-queries 50     # JSON-lines probe trace
     repro bench fig11 --scale 1 --level 5            # regenerate a figure
+    repro bench cache --json BENCH_cache.json        # cold vs warm probe cache
     repro inspect --dataset dblife --scale 2         # dataset summary
     repro lint --dataset dblife --json               # static analysis
+    repro cache stats --cache-dir .repro-cache       # persistent probe cache
 """
 
 from __future__ import annotations
@@ -32,6 +34,26 @@ def _load_database(args: argparse.Namespace):
     if args.dataset == "products":
         return product_database()
     return dblife_database(DBLifeConfig(seed=args.seed, scale=args.scale))
+
+
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    from repro.backends import backend_names
+
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default="memory",
+        help="aliveness backend from the repro.backends registry",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist probe results here (keyed by the dataset fingerprint); "
+            "a second run over an unchanged dataset starts warm"
+        ),
+    )
 
 
 def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
@@ -63,10 +85,13 @@ def _cmd_debug(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         use_lattice=not args.direct,
         free_copies=args.free_copies,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
     )
     started = time.perf_counter()
     report = debugger.debug(args.query, workers=args.workers)
     elapsed = time.perf_counter() - started
+    debugger.close()
     print(report.render(max_items=args.max_items))
     if args.diagnose and report.non_answers():
         from repro.core.diagnosis import render_diagnoses
@@ -157,8 +182,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         use_lattice=not args.direct,
         tracer=tracer,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
     )
     report = debugger.debug(args.query, budget=budget, workers=args.workers)
+    debugger.close()
     for record in tracer.records:
         validate_trace_record(record.to_dict())
     lines = tracer.to_jsonl()
@@ -183,10 +211,36 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_bench_json(args: argparse.Namespace, payload: dict) -> None:
+    if not args.json:
+        return
+    import json
+
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"(wrote results to {args.json})")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     context = BenchContext.create(scale=args.scale, seed=args.seed)
     if args.trace:
         context.tracer = ProbeTracer()
+    if args.experiment == "cache":
+        from repro.bench.cache import DEFAULT_BENCH_LEVEL, run_cache_bench
+
+        started = time.perf_counter()
+        table, payload = run_cache_bench(
+            context,
+            level=args.level or DEFAULT_BENCH_LEVEL,
+            cache_dir=args.cache_dir,
+        )
+        print(table.render())
+        print(f"(ran in {time.perf_counter() - started:.1f} s)")
+        _write_bench_json(args, payload)
+        if args.trace and context.tracer is not None:
+            count = context.tracer.write_jsonl(args.trace)
+            print(f"(wrote {count} trace records to {args.trace})")
+        return 0 if payload["passed"] else 1
     if args.experiment == "parallel":
         from repro.bench.parallel import DEFAULT_BENCH_LEVEL, run_parallel_bench
 
@@ -198,12 +252,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         print(table.render())
         print(f"(ran in {time.perf_counter() - started:.1f} s)")
-        if args.json:
-            import json
-
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2)
-            print(f"(wrote results to {args.json})")
+        _write_bench_json(args, payload)
         if args.trace and context.tracer is not None:
             count = context.tracer.write_jsonl(args.trace)
             print(f"(wrote {count} trace records to {args.trace})")
@@ -244,6 +293,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import clear_cache_dir, inspect_cache_dir
+
+    if args.action == "clear":
+        removed = clear_cache_dir(args.cache_dir)
+        print(f"removed {removed} cached probe(s) from {args.cache_dir}")
+        return 0
+    info = inspect_cache_dir(args.cache_dir)
+    if args.json:
+        import json
+
+        print(json.dumps(info, indent=2))
+        return 0
+    if not info["exists"]:
+        print(f"no probe cache at {info['path']}")
+        return 0
+    print(f"probe cache: {info['path']}")
+    print(f"  size: {info['size_bytes']} bytes, entries: {info['entries']}")
+    for fingerprint, counts in info["fingerprints"].items():
+        print(
+            f"  fingerprint {fingerprint[:16]}...: "
+            f"{counts['entries']} entries ({counts['alive']} alive)"
+        )
+    return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -306,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="probe each traversal frontier on N worker threads (0 = serial)",
     )
+    _add_backend_options(debug)
     debug.set_defaults(func=_cmd_debug)
 
     search = commands.add_parser("search", help="classic KWS-S (answers only)")
@@ -373,11 +449,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="probe each traversal frontier on N worker threads (0 = serial)",
     )
+    _add_backend_options(trace)
     trace.set_defaults(func=_cmd_trace)
 
     bench = commands.add_parser("bench", help="regenerate a paper table/figure")
     bench.add_argument(
-        "experiment", choices=sorted(EXPERIMENTS) + ["parallel", "scaling"],
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["cache", "parallel", "scaling"],
     )
     bench.add_argument("--scale", type=int, default=1)
     bench.add_argument("--seed", type=int, default=42)
@@ -391,12 +469,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json",
         metavar="PATH",
-        help="write the 'parallel' experiment payload as JSON (BENCH_parallel.json)",
+        help=(
+            "write the 'parallel'/'cache' experiment payload as JSON "
+            "(BENCH_parallel.json / BENCH_cache.json)"
+        ),
     )
     bench.add_argument(
         "--trace",
         metavar="PATH",
         help="record every probe and write a JSON-lines trace here",
+    )
+    bench.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory for the 'cache' experiment (default: temp dir)",
     )
     bench.set_defaults(func=_cmd_bench)
 
@@ -441,6 +528,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the repo AST layer",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect or clear the persistent probe cache",
+        description=(
+            "Operate on a probe-cache directory (see --cache-dir on the "
+            "debug/trace commands): 'stats' summarizes the sqlite file and "
+            "its per-fingerprint entry counts, 'clear' drops every cached "
+            "probe.  Neither needs the dataset loaded."
+        ),
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        required=True,
+        help="the probe-cache directory to operate on",
+    )
+    cache.add_argument(
+        "--json", action="store_true", help="machine-readable stats output"
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -16,8 +16,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
+from repro.backends import create_backend
+from repro.cache import ProbeCache
 from repro.core.binding import KeywordBinder, PrunedLattice
 from repro.core.constraints import UNCONSTRAINED, SearchConstraints
 from repro.core.lattice import Lattice, generate_lattice
@@ -36,7 +39,6 @@ from repro.relational.evaluator import (
 )
 from repro.relational.jointree import BoundQuery
 from repro.relational.predicates import MatchMode
-from repro.relational.sqlite_backend import SqliteEngine
 
 
 @dataclass
@@ -185,6 +187,8 @@ class NonAnswerDebugger:
         free_copies: int = 1,
         max_interpretations: int = 256,
         tracer: ProbeTracer | None = None,
+        cache_dir: str | Path | None = None,
+        backend_options: dict[str, Any] | None = None,
     ):
         """Build the offline artifacts for ``database``.
 
@@ -195,6 +199,15 @@ class NonAnswerDebugger:
         the paper's ``max_joins + 1``).  ``free_copies > 1`` enables the
         multi-free-copy extension (direct mode only; see
         :mod:`repro.core.freecopies`).
+
+        ``backend`` is resolved through the :mod:`repro.backends` registry
+        (``memory``, ``sqlite``, ``simulated``, or anything registered);
+        ``backend_options`` is forwarded to its factory.  ``cache_dir``
+        attaches a persistent probe cache (:class:`repro.cache.ProbeCache`)
+        keyed by ``database.fingerprint()`` as the L2 tier of every
+        reuse-enabled evaluator this debugger makes, so a second session
+        over an unchanged database answers previously probed nodes with
+        zero backend queries.
         """
         self.database = database
         self.schema = database.schema
@@ -226,14 +239,17 @@ class NonAnswerDebugger:
         self.strategy = (
             strategy if isinstance(strategy, TraversalStrategy) else get_strategy(strategy)
         )
-        if backend == "memory":
-            self.backend: Any = InMemoryEngine(
-                database, tuple_set_provider=self.index.provider
+        options: dict[str, Any] = {
+            "tuple_set_provider": self.index.provider,
+            "cost_model": cost_model,
+        }
+        options.update(backend_options or {})
+        self.backend: Any = create_backend(backend, database, **options)
+        self.probe_cache: ProbeCache | None = None
+        if cache_dir is not None:
+            self.probe_cache = ProbeCache.open_dir(
+                cache_dir, self.schema, database.fingerprint()
             )
-        elif backend == "sqlite":
-            self.backend = SqliteEngine(database)
-        else:
-            raise ValueError(f"unknown backend {backend!r}; use 'memory' or 'sqlite'")
 
     # ------------------------------------------------------------- pipeline
     def make_evaluator(
@@ -250,6 +266,7 @@ class NonAnswerDebugger:
             use_cache=use_cache,
             budget=budget,
             tracer=tracer if tracer is not None else self.tracer,
+            probe_cache=self.probe_cache,
         )
 
     def map_keywords(self, query: str) -> KeywordMapping:
@@ -347,10 +364,12 @@ class NonAnswerDebugger:
 
     # ------------------------------------------------------------ utilities
     def close(self) -> None:
-        """Release backend resources (the sqlite connection, if any)."""
+        """Release backend resources (connection pool, probe cache)."""
         closer = getattr(self.backend, "close", None)
         if closer is not None:
             closer()
+        if self.probe_cache is not None:
+            self.probe_cache.close()
 
     def __enter__(self) -> "NonAnswerDebugger":
         return self

@@ -9,17 +9,30 @@ debugging output can feed dashboards and regression suites.
 Formats are plain JSON with a version tag; loaders validate against the
 provided schema graph, so a lattice file cannot silently be applied to a
 different database.
+
+Writes are **atomic**: content goes to a temporary file in the target
+directory first and is moved into place with :func:`os.replace`, so a
+crash mid-save leaves either the old artifact or the new one, never a
+truncated JSON file.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
 from repro.core.debugger import DebugReport
 from repro.core.lattice import Lattice, LatticeStats
-from repro.relational.jointree import BoundQuery, JoinEdge, JoinTree, RelationInstance
+from repro.relational.jointree import (
+    BoundQuery,
+    JoinEdge,
+    JoinTree,
+    MatchMode,
+    RelationInstance,
+)
 from repro.relational.schema import SchemaGraph
 
 FORMAT_VERSION = 1
@@ -27,6 +40,35 @@ FORMAT_VERSION = 1
 
 class PersistenceError(ValueError):
     """Raised on malformed or mismatched artifact files."""
+
+
+def _atomic_write_text(path: str | Path, content: str) -> None:
+    """Write ``content`` to ``path`` via a same-directory temp + rename.
+
+    ``os.replace`` is atomic on POSIX and Windows when source and target
+    share a filesystem, which the same-directory temp file guarantees.
+    """
+    target = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=target.parent if str(target.parent) else ".",
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 # ----------------------------------------------------------- tree encoding
@@ -78,6 +120,22 @@ def encode_query(query: BoundQuery) -> dict[str, Any]:
     }
 
 
+def decode_query(payload: dict[str, Any]) -> BoundQuery:
+    """Inverse of :func:`encode_query`; raises :class:`PersistenceError`."""
+    try:
+        tree = decode_tree(payload["tree"])
+        bindings = frozenset(
+            (RelationInstance(relation, copy), keyword)
+            for relation, copy, keyword in payload["bindings"]
+        )
+        mode = MatchMode(payload["mode"])
+        return BoundQuery(tree, bindings, mode)
+    except PersistenceError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed bound query payload: {exc}") from exc
+
+
 # -------------------------------------------------------- lattice save/load
 def save_lattice(lattice: Lattice, path: str | Path) -> None:
     """Write a lattice (nodes, adjacency, stats, config) as JSON."""
@@ -107,7 +165,7 @@ def save_lattice(lattice: Lattice, path: str | Path) -> None:
         if stats
         else None,
     }
-    Path(path).write_text(json.dumps(payload))
+    _atomic_write_text(path, json.dumps(payload))
 
 
 def load_lattice(path: str | Path, schema: SchemaGraph) -> Lattice:
@@ -125,33 +183,31 @@ def load_lattice(path: str | Path, schema: SchemaGraph) -> Lattice:
         raise PersistenceError(
             f"{path} was generated for a different schema graph"
         )
-    lattice = Lattice(
-        schema,
-        payload["max_joins"],
-        max_keywords=payload["max_keywords"],
-        distinct_slots=payload["distinct_slots"],
-        free_copies=payload["free_copies"],
-    )
-    for entry in payload["nodes"]:
-        tree = decode_tree(entry["tree"])
-        node_id, duplicate = lattice._add(tree)
-        if duplicate:
-            raise PersistenceError(f"duplicate node in {path}")
-    # Parent links in a second pass, once all ids exist.
-    for node_id, entry in enumerate(payload["nodes"]):
-        for parent_id in entry["parents"]:
-            if parent_id >= len(lattice.nodes):
-                raise PersistenceError(f"dangling parent id in {path}")
-            lattice._link(node_id, parent_id)
     stats = payload.get("stats")
-    if stats:
-        lattice.stats = LatticeStats(
-            stats["levels"],
-            stats["nodes_per_level"],
-            stats["duplicates_per_level"],
-            stats["time_per_level"],
+    try:
+        return Lattice.from_parts(
+            schema,
+            payload["max_joins"],
+            nodes=[
+                (decode_tree(entry["tree"]), entry["parents"])
+                for entry in payload["nodes"]
+            ],
+            max_keywords=payload["max_keywords"],
+            distinct_slots=payload["distinct_slots"],
+            free_copies=payload["free_copies"],
+            stats=LatticeStats(
+                stats["levels"],
+                stats["nodes_per_level"],
+                stats["duplicates_per_level"],
+                stats["time_per_level"],
+            )
+            if stats
+            else None,
         )
-    return lattice
+    except PersistenceError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"corrupt lattice file {path}: {exc}") from exc
 
 
 # -------------------------------------------------------- report export
@@ -188,4 +244,52 @@ def report_to_dict(report: DebugReport) -> dict[str, Any]:
 
 
 def save_report(report: DebugReport, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(report_to_dict(report), indent=2))
+    _atomic_write_text(path, json.dumps(report_to_dict(report), indent=2))
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read and validate a report saved by :func:`save_report`.
+
+    Returns the payload dict with every embedded query decoded in place:
+    ``answers`` becomes a list of :class:`BoundQuery`, and each
+    ``non_answers`` entry becomes ``{"query": BoundQuery, "mpans":
+    [BoundQuery, ...]}``.  Raises :class:`PersistenceError` on anything
+    that is not a well-formed current-version debug report, so a
+    round-trip failure is loud.
+    """
+    raw = Path(path).read_text()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise PersistenceError(f"{path} is not a JSON object")
+    if (
+        payload.get("kind") != "debug_report"
+        or payload.get("format") != FORMAT_VERSION
+    ):
+        raise PersistenceError(
+            f"{path} is not a v{FORMAT_VERSION} debug report file"
+        )
+    for key in (
+        "query",
+        "keywords",
+        "missing_keywords",
+        "aborted",
+        "interpretations",
+        "mtn_count",
+        "timings",
+    ):
+        if key not in payload:
+            raise PersistenceError(f"{path} is missing report field {key!r}")
+    if "answers" in payload:
+        payload["answers"] = [decode_query(q) for q in payload["answers"]]
+    if "non_answers" in payload:
+        payload["non_answers"] = [
+            {
+                "query": decode_query(entry["query"]),
+                "mpans": [decode_query(m) for m in entry["mpans"]],
+            }
+            for entry in payload["non_answers"]
+        ]
+    return payload

@@ -8,6 +8,13 @@ explanations only where they care, and dismisses uninteresting candidates --
 all over **one shared status store and evaluation cache**, so every action
 benefits from everything learned before it (rules R1/R2 included).
 
+Sessions inherit the debugger's persistent probe cache automatically:
+when the :class:`NonAnswerDebugger` was opened with a ``cache_dir``, the
+evaluator built here carries it as the L2 tier, so a session over a
+previously debugged (and unchanged) database starts warm -- classifying
+an already-probed candidate costs zero SQL queries even in a fresh
+process.
+
 Example::
 
     session = DebugSession(debugger, "saffron scented candle")

@@ -48,6 +48,7 @@ SPAN_OPTIONAL_SCHEMA: dict[str, tuple[type, ...]] = {
     "budget_remaining": (int,),
     "worker_id": (int,),
     "queue_wait_s": (int, float),
+    "cache_tier": (str,),
 }
 EVENT_SCHEMA: dict[str, tuple[type, ...]] = {
     "kind": (str,),
@@ -79,6 +80,10 @@ class ProbeSpan:
     #: Seconds the probe sat in the executor queue before a worker
     #: picked it up (None = serial path).
     queue_wait_s: float | None = None
+    #: Which tier answered: ``"l1"`` (in-process LRU), ``"l2"``
+    #: (persistent store), or ``"backend"`` (executed).  None on spans
+    #: recorded before the two-tier cache existed.
+    cache_tier: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         record: dict[str, Any] = {
@@ -100,6 +105,8 @@ class ProbeSpan:
             record["worker_id"] = self.worker_id
         if self.queue_wait_s is not None:
             record["queue_wait_s"] = self.queue_wait_s
+        if self.cache_tier is not None:
+            record["cache_tier"] = self.cache_tier
         return record
 
 
@@ -173,6 +180,7 @@ class ProbeTracer:
         budget_remaining: int | None = None,
         worker_id: int | None = None,
         queue_wait_s: float | None = None,
+        cache_tier: str | None = None,
     ) -> ProbeSpan:
         with self._lock:
             span = ProbeSpan(
@@ -188,6 +196,7 @@ class ProbeTracer:
                 budget_remaining=budget_remaining,
                 worker_id=worker_id,
                 queue_wait_s=queue_wait_s,
+                cache_tier=cache_tier,
             )
             self._records.append(span)
         return span

@@ -13,9 +13,14 @@ evaluation.  It provides:
   Yannakakis-style semi-join emptiness checks.
 * :mod:`repro.relational.sql` -- SQL text generation for join trees.
 * :mod:`repro.relational.sqlite_backend` -- executes the generated SQL on a
-  stdlib ``sqlite3`` database, for cross-checking the in-memory engine.
+  stdlib ``sqlite3`` database behind a bounded connection pool, for
+  cross-checking the in-memory engine.
 * :mod:`repro.relational.evaluator` -- the instrumented evaluation facade
-  (query counter, timings) that every traversal strategy talks to.
+  (query counter, timings, two-tier probe cache) that every traversal
+  strategy talks to.
+
+The pluggable backend protocol and registry live in :mod:`repro.backends`;
+the persistent L2 probe cache lives in :mod:`repro.cache`.
 """
 
 from repro.relational.schema import (
@@ -32,7 +37,12 @@ from repro.relational.predicates import KeywordPredicate, MatchMode
 from repro.relational.engine import InMemoryEngine
 from repro.relational.sql import render_sql, render_template
 from repro.relational.sqlite_backend import SqliteEngine
-from repro.relational.evaluator import EvaluationStats, InstrumentedEvaluator
+from repro.relational.evaluator import (
+    AlivenessBackend,
+    EvaluationStats,
+    InstrumentedEvaluator,
+    ProbeStore,
+)
 
 __all__ = [
     "Attribute",
@@ -51,6 +61,8 @@ __all__ = [
     "render_sql",
     "render_template",
     "SqliteEngine",
+    "AlivenessBackend",
+    "ProbeStore",
     "EvaluationStats",
     "InstrumentedEvaluator",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.relational.schema import SchemaError, SchemaGraph
@@ -73,6 +74,43 @@ class Database:
                     f"{len(violations)} row(s) of {foreign_key.child!r} "
                     f"(first row id: {violations[0]})"
                 )
+
+    def fingerprint(self) -> str:
+        """Content hash of the schema and every tuple (hex, stable).
+
+        This is the dataset identity the persistent probe cache
+        (:mod:`repro.cache`) keys on: two databases with the same schema
+        and the same rows -- regardless of how they were built -- share
+        a fingerprint, and any insert changes it, which is exactly the
+        invalidation granularity a cached aliveness answer needs (one
+        new tuple can flip any probe from dead to alive).
+
+        Computed fresh on every call (tables are append-mostly and the
+        hash is linear in the data); callers that need it repeatedly
+        should hold on to the string.
+        """
+        hasher = hashlib.sha256()
+        for name in sorted(self.schema.relations):
+            relation = self.schema.relations[name]
+            hasher.update(b"R")
+            hasher.update(name.encode("utf-8"))
+            for attribute in relation.attributes:
+                hasher.update(
+                    f"|{attribute.name}:{attribute.type.value}".encode("utf-8")
+                )
+        for fk_name in sorted(self.schema.foreign_keys):
+            foreign_key = self.schema.foreign_keys[fk_name]
+            hasher.update(
+                f"F{fk_name}:{foreign_key.child}.{foreign_key.child_column}"
+                f"->{foreign_key.parent}.{foreign_key.parent_column}".encode(
+                    "utf-8"
+                )
+            )
+        for table in self.iter_tables():
+            hasher.update(f"T{table.relation.name}:{len(table)}".encode("utf-8"))
+            for row in table:
+                hasher.update(repr(row).encode("utf-8"))
+        return hasher.hexdigest()
 
     def summary(self) -> str:
         """Human-readable one-line-per-table summary."""

@@ -15,6 +15,15 @@ and the probe lifecycle is split into admit / execute / apply steps so a
 :class:`~repro.parallel.ParallelProbeExecutor` can run the execute step
 on worker threads while admission and result application stay in
 deterministic submission order on the coordinating thread.
+
+Caching is **two-tier**: the in-process LRU above is the L1 and an
+optional persistent :class:`~repro.backends.base.ProbeStore` (see
+:mod:`repro.cache`) is the L2, consulted only on an L1 miss and written
+through on every executed probe.  L2 hits are promoted into L1, cost no
+backend query and no budget, and are counted separately
+(``stats.l2_hits``, ``cache_tier="l2"`` on the trace span), so a warm
+session over an unchanged dataset is observably distinguishable from
+in-process reuse.
 """
 
 from __future__ import annotations
@@ -25,21 +34,30 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
+# The backend protocol lives in repro.backends.base (the pluggable
+# backend layer); it is re-exported here because this module is where
+# every existing caller imports it from.
+from repro.backends.base import AlivenessBackend, ProbeStore
 from repro.obs.budget import ProbeBudget, ProbeBudgetExhausted
 from repro.obs.trace import ProbeTracer
 from repro.relational.jointree import BoundQuery
+
+__all__ = [
+    "AlivenessBackend",
+    "ProbeStore",
+    "QueryCostModel",
+    "EvaluationStats",
+    "ProbeOutcome",
+    "ProbeBatch",
+    "BatchExecutor",
+    "InstrumentedEvaluator",
+    "DEFAULT_CACHE_CAPACITY",
+]
 
 #: Default LRU capacity of the aliveness cache -- generous (a level-7
 #: DBLife exploration graph has a few thousand nodes) but bounded, so a
 #: long-lived evaluator serving many sessions cannot grow without limit.
 DEFAULT_CACHE_CAPACITY = 65_536
-
-
-class AlivenessBackend(Protocol):
-    """Anything that can answer "does this query return a tuple?"."""
-
-    def is_alive(self, query: BoundQuery) -> bool:  # pragma: no cover - protocol
-        ...
 
 
 class QueryCostModel(Protocol):
@@ -60,6 +78,10 @@ class EvaluationStats:
     executed_by_level: dict[int, int] = field(default_factory=dict)
     cache_misses: int = 0
     cache_evictions: int = 0
+    #: Tier breakdown of ``cache_hits`` (``cache_hits == l1_hits + l2_hits``):
+    #: L1 is the in-process LRU, L2 the persistent cross-session store.
+    l1_hits: int = 0
+    l2_hits: int = 0
 
     def snapshot(self) -> "EvaluationStats":
         return EvaluationStats(
@@ -70,6 +92,8 @@ class EvaluationStats:
             executed_by_level=dict(self.executed_by_level),
             cache_misses=self.cache_misses,
             cache_evictions=self.cache_evictions,
+            l1_hits=self.l1_hits,
+            l2_hits=self.l2_hits,
         )
 
     def diff(self, earlier: "EvaluationStats") -> "EvaluationStats":
@@ -94,10 +118,17 @@ class EvaluationStats:
             },
             cache_misses=self.cache_misses - earlier.cache_misses,
             cache_evictions=self.cache_evictions - earlier.cache_evictions,
+            l1_hits=self.l1_hits - earlier.l1_hits,
+            l2_hits=self.l2_hits - earlier.l2_hits,
         )
 
     def __str__(self) -> str:
         cache = f"{self.cache_hits} cache hits / {self.cache_misses} misses"
+        if self.l2_hits:
+            cache = (
+                f"{self.cache_hits} cache hits (L1 {self.l1_hits}, "
+                f"L2 {self.l2_hits}) / {self.cache_misses} misses"
+            )
         if self.cache_evictions:
             cache += f", {self.cache_evictions} evicted"
         return (
@@ -163,6 +194,13 @@ class InstrumentedEvaluator:
     afterwards, so a :class:`~repro.obs.budget.ProbeBudgetExhausted` from
     :meth:`is_alive` guarantees the backend was *not* touched.  A
     ``tracer`` records one span per probe (executed or cache-answered).
+
+    ``probe_cache`` attaches a persistent L2 tier (any
+    :class:`~repro.backends.base.ProbeStore`, normally a
+    :class:`repro.cache.ProbeCache`): consulted after an L1 miss, written
+    through on every executed probe, ignored entirely when
+    ``use_cache=False`` (the paper's non-reuse strategies re-execute by
+    definition, and a persistent tier would change their counted costs).
     """
 
     def __init__(
@@ -173,6 +211,7 @@ class InstrumentedEvaluator:
         budget: ProbeBudget | None = None,
         tracer: ProbeTracer | None = None,
         cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
+        probe_cache: ProbeStore | None = None,
     ):
         if cache_capacity is not None and cache_capacity <= 0:
             raise ValueError("cache_capacity must be positive (or None)")
@@ -182,6 +221,7 @@ class InstrumentedEvaluator:
         self.budget = budget
         self.tracer = tracer
         self.cache_capacity = cache_capacity
+        self.probe_cache = probe_cache
         self.stats = EvaluationStats()
         self._cache: OrderedDict[BoundQuery, bool] = OrderedDict()
         self._lock = threading.Lock()
@@ -195,6 +235,7 @@ class InstrumentedEvaluator:
         simulated: float,
         worker_id: int | None = None,
         queue_wait_s: float | None = None,
+        cache_tier: str | None = None,
     ) -> None:
         assert self.tracer is not None
         self.tracer.record_probe(
@@ -210,27 +251,70 @@ class InstrumentedEvaluator:
             ),
             worker_id=worker_id,
             queue_wait_s=queue_wait_s,
+            cache_tier=cache_tier,
         )
+
+    def _cache_insert_locked(self, query: BoundQuery, alive: bool) -> None:
+        """Insert into the L1 LRU (caller holds the lock), evicting at cap."""
+        self._cache[query] = alive
+        self._cache.move_to_end(query)
+        if (
+            self.cache_capacity is not None
+            and len(self._cache) > self.cache_capacity
+        ):
+            self._cache.popitem(last=False)
+            self.stats.cache_evictions += 1
 
     # --------------------------------------------------- probe lifecycle
     def lookup_cached(self, query: BoundQuery) -> bool | None:
-        """Serve ``query`` from the reuse cache, counting a hit + span.
+        """Serve ``query`` from L1 then L2, counting a tiered hit + span.
 
-        Returns ``None`` on a miss (or when caching is off); the miss is
-        *not* counted here -- it is counted when the execution is applied,
-        so refused probes never inflate the miss counter.
+        Returns ``None`` on a miss in both tiers (or when caching is
+        off); the miss is *not* counted here -- it is counted when the
+        execution is applied, so refused probes never inflate the miss
+        counter.  L2 hits are promoted into L1 so repeated probes stay
+        in-process.
         """
         if not self.use_cache:
             return None
         with self._lock:
             cached = self._cache.get(query)
-            if cached is None:
-                return None
-            self._cache.move_to_end(query)
+            if cached is not None:
+                self._cache.move_to_end(query)
+                self.stats.cache_hits += 1
+                self.stats.l1_hits += 1
+        if cached is not None:
+            if self.tracer is not None:
+                self._trace(
+                    query,
+                    cached,
+                    cache_hit=True,
+                    wall=0.0,
+                    simulated=0.0,
+                    cache_tier="l1",
+                )
+            return cached
+        if self.probe_cache is None:
+            return None
+        # L2 lookup outside the evaluator lock: the store has its own
+        # lock and may touch disk.
+        persisted = self.probe_cache.get(query)
+        if persisted is None:
+            return None
+        with self._lock:
             self.stats.cache_hits += 1
+            self.stats.l2_hits += 1
+            self._cache_insert_locked(query, persisted)
         if self.tracer is not None:
-            self._trace(query, cached, cache_hit=True, wall=0.0, simulated=0.0)
-        return cached
+            self._trace(
+                query,
+                persisted,
+                cache_hit=True,
+                wall=0.0,
+                simulated=0.0,
+                cache_tier="l2",
+            )
+        return persisted
 
     def admit_probe(self) -> None:
         """Reserve one backend execution with the budget (raise if spent)."""
@@ -281,7 +365,7 @@ class InstrumentedEvaluator:
         )
 
     def apply_probe(self, query: BoundQuery, outcome: ProbeOutcome) -> bool:
-        """Fold one executed probe into stats, cache, and trace."""
+        """Fold one executed probe into stats, caches (L1 + L2), and trace."""
         level = query.tree.size
         with self._lock:
             self.stats.queries_executed += 1
@@ -293,14 +377,12 @@ class InstrumentedEvaluator:
                 self.stats.executed_by_level.get(level, 0) + 1
             )
             if self.use_cache:
-                self._cache[query] = outcome.alive
-                self._cache.move_to_end(query)
-                if (
-                    self.cache_capacity is not None
-                    and len(self._cache) > self.cache_capacity
-                ):
-                    self._cache.popitem(last=False)
-                    self.stats.cache_evictions += 1
+                self._cache_insert_locked(query, outcome.alive)
+        if self.use_cache and self.probe_cache is not None:
+            # Write-through outside the evaluator lock (the store locks
+            # itself): every executed probe lands in the persistent tier,
+            # so a second session over the same dataset starts fully warm.
+            self.probe_cache.put(query, outcome.alive)
         if self.tracer is not None:
             self._trace(
                 query,
@@ -310,6 +392,7 @@ class InstrumentedEvaluator:
                 simulated=outcome.simulated_seconds,
                 worker_id=outcome.worker_id,
                 queue_wait_s=outcome.queue_wait_s,
+                cache_tier="backend",
             )
         return outcome.alive
 

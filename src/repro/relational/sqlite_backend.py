@@ -5,22 +5,28 @@ SQL (the paper ran them on PostgreSQL via JDBC) and to cross-check the
 in-memory engine: property tests assert both agree on aliveness for random
 trees and databases.
 
-``sqlite3`` connections must not cross threads, so a naive single
-connection crashes the moment a :class:`~repro.parallel.ParallelProbeExecutor`
-fans probes out.  The engine therefore mirrors the database into a named
-shared-cache in-memory sqlite instance and checks out one connection per
-thread on demand; all connections see the same loaded data, and every
-read path (:meth:`is_alive`, :meth:`count`, :meth:`fetch`) goes through
-the calling thread's own connection.
+``sqlite3`` connections must not be used by two threads at once, so a
+naive single connection crashes the moment a
+:class:`~repro.parallel.ParallelProbeExecutor` fans probes out.  The
+engine mirrors the database into a named shared-cache in-memory sqlite
+instance and serves every read path (:meth:`is_alive`, :meth:`count`,
+:meth:`fetch`) through a bounded
+:class:`~repro.backends.pool.ConnectionPool`: each probe checks a
+connection out, uses it exclusively, and checks it back in, so at most
+``pool_size`` connections ever exist no matter how many worker threads
+probe concurrently -- the discipline a real DBMS backend needs, not just
+an sqlite workaround.  One *anchor* connection (created at load time,
+never pooled) keeps the shared-cache database alive and serves
+single-threaded raw access via :attr:`connection`.
 """
 
 from __future__ import annotations
 
 import itertools
 import sqlite3
-import threading
 from typing import Any
 
+from repro.backends.pool import DEFAULT_POOL_SIZE, ConnectionPool, PoolStats
 from repro.relational.database import Database
 from repro.relational.identifiers import quote_identifier
 from repro.relational.jointree import BoundQuery
@@ -42,50 +48,56 @@ def _token_match(keyword: str, text: Any) -> int:
 class SqliteEngine:
     """Mirror of a :class:`Database` inside an in-process sqlite3 instance."""
 
-    def __init__(self, database: Database):
+    def __init__(
+        self,
+        database: Database,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        recycle_after: float | None = None,
+    ):
         self.database = database
         self.schema = database.schema
+        self.pool_size = pool_size
         self._uri = (
             f"file:repro-sqlite-{next(_ENGINE_IDS)}?mode=memory&cache=shared"
         )
-        self._local = threading.local()
-        self._connections: list[sqlite3.Connection] = []
-        self._lock = threading.Lock()
         self._closed = False
-        # The creating thread's connection anchors the shared-cache
-        # database: as long as one connection stays open the data lives.
-        self._load(self.connection)
+        # The anchor connection keeps the shared-cache database alive (the
+        # data dies with the last open connection) and is what loads it.
+        self._anchor = self._connect()
+        self._load(self._anchor)
+        self._pool: ConnectionPool[sqlite3.Connection] = ConnectionPool(
+            self._connect,
+            max_size=pool_size,
+            closer=lambda connection: connection.close(),
+            recycle_after=recycle_after,
+        )
 
     def _connect(self) -> sqlite3.Connection:
-        # check_same_thread=False so close() can reap every connection
-        # from one thread; each connection is otherwise only *used* by
-        # the thread that checked it out.
+        # check_same_thread=False because the pool hands one connection to
+        # one thread at a time but not always the *same* thread, and
+        # close() reaps every connection from a single thread.
         connection = sqlite3.connect(
             self._uri, uri=True, check_same_thread=False
         )
         connection.create_function("TOKEN_MATCH", 2, _token_match)
-        with self._lock:
-            self._connections.append(connection)
         return connection
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The calling thread's own connection (created on first use)."""
+        """The anchor connection, for single-threaded raw SQL access."""
         if self._closed:
             raise sqlite3.ProgrammingError("Cannot operate on a closed engine.")
-        connection: sqlite3.Connection | None = getattr(
-            self._local, "connection", None
-        )
-        if connection is None:
-            connection = self._connect()
-            self._local.connection = connection
-        return connection
+        return self._anchor
 
     @property
     def connection_count(self) -> int:
-        """Connections checked out so far (one per thread that probed)."""
-        with self._lock:
-            return len(self._connections)
+        """Connections alive: the anchor plus everything the pool created."""
+        stats = self._pool.stats()
+        return 1 + stats.in_use + stats.idle
+
+    def pool_stats(self) -> PoolStats:
+        """Counters of the probe connection pool (excludes the anchor)."""
+        return self._pool.stats()
 
     def _load(self, connection: sqlite3.Connection) -> None:
         cursor = connection.cursor()
@@ -106,26 +118,30 @@ class SqliteEngine:
     def is_alive(self, query: BoundQuery) -> bool:
         """Run the existence-check SQL and report whether a row came back."""
         sql = render_existence_check(query, self.schema)
-        cursor = self.connection.execute(sql)
-        return cursor.fetchone() is not None
+        with self._pool.connection() as connection:
+            cursor = connection.execute(sql)
+            return cursor.fetchone() is not None
 
     def count(self, query: BoundQuery, limit: int | None = None) -> int:
         inner = render_sql(query, self.schema, select="1", limit=limit)
-        cursor = self.connection.execute(f"SELECT COUNT(*) FROM ({inner})")
-        return int(cursor.fetchone()[0])
+        with self._pool.connection() as connection:
+            cursor = connection.execute(f"SELECT COUNT(*) FROM ({inner})")
+            return int(cursor.fetchone()[0])
 
-    def fetch(self, query: BoundQuery, limit: int | None = 100) -> list[tuple]:
+    def fetch(
+        self, query: BoundQuery, limit: int | None = 100
+    ) -> list[tuple[Any, ...]]:
         sql = render_sql(query, self.schema, limit=limit)
-        return list(self.connection.execute(sql))
+        with self._pool.connection() as connection:
+            return list(connection.execute(sql))
 
     def close(self) -> None:
-        """Close every checked-out connection (drops the shared memory DB)."""
+        """Close the pool and the anchor (drops the shared memory DB)."""
+        if self._closed:
+            return
         self._closed = True
-        with self._lock:
-            connections, self._connections = self._connections, []
-        for connection in connections:
-            connection.close()
-        self._local = threading.local()
+        self._pool.close()
+        self._anchor.close()
 
     def __enter__(self) -> "SqliteEngine":
         return self

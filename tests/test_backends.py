@@ -1,0 +1,261 @@
+"""Tests for the pluggable backend layer: pool, registry, conformance."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.backends import (
+    AlivenessBackend,
+    BackendCapabilities,
+    BackendRegistryError,
+    ConnectionPool,
+    PoolError,
+    PoolTimeout,
+    backend_names,
+    create_backend,
+    get_backend_spec,
+    register_backend,
+)
+from repro.backends.conformance import ConformanceFailure, check_backend
+from repro.backends.registry import _REGISTRY
+from repro.parallel import ParallelProbeExecutor
+from repro.relational.engine import InMemoryEngine
+from repro.relational.evaluator import InstrumentedEvaluator
+from repro.relational.sqlite_backend import SqliteEngine
+
+
+class Resource:
+    """Pool fake: tracks exclusive use and closure."""
+
+    _ids = itertools.count()
+
+    def __init__(self):
+        self.id = next(self._ids)
+        self.busy = threading.Lock()
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+@pytest.fixture()
+def products_probes(products_debugger):
+    mapping = products_debugger.map_keywords("saffron scented candle")
+    graph = products_debugger.build_graph(products_debugger.prune(mapping))
+    return [graph.node(index).query for index in range(len(graph))]
+
+
+# -------------------------------------------------------------------- pool
+class TestConnectionPool:
+    def test_checkout_creates_then_reuses_lifo(self):
+        pool = ConnectionPool(Resource, max_size=4)
+        first = pool.checkout()
+        second = pool.checkout()
+        pool.checkin(second)
+        pool.checkin(first)
+        # LIFO: the most recently parked connection comes back first.
+        assert pool.checkout() is first
+        assert pool.checkout() is second
+        stats = pool.stats()
+        assert stats.created == 2
+        assert stats.reused == 2
+        assert stats.in_use == 2 and stats.idle == 0
+
+    def test_cap_blocks_until_checkin(self):
+        pool = ConnectionPool(Resource, max_size=1)
+        held = pool.checkout()
+        acquired = []
+
+        def blocked_checkout():
+            acquired.append(pool.checkout())
+
+        thread = threading.Thread(target=blocked_checkout)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired, "checkout must block at the cap"
+        pool.checkin(held)
+        thread.join(timeout=5)
+        assert acquired == [held]
+        assert pool.stats().created == 1
+        assert pool.stats().waits >= 1
+
+    def test_timeout_raises_pool_timeout(self):
+        pool = ConnectionPool(Resource, max_size=1, timeout=0.01)
+        pool.checkout()
+        with pytest.raises(PoolTimeout):
+            pool.checkout()
+
+    def test_idle_recycling(self):
+        pool = ConnectionPool(Resource, max_size=2, recycle_after=0.0)
+        connection = pool.checkout()
+        pool.checkin(connection)
+        time.sleep(0.01)  # let the parked connection age past the threshold
+        fresh = pool.checkout()
+        assert fresh is not connection
+        assert connection.closed
+        stats = pool.stats()
+        assert stats.recycled == 1
+        assert stats.created == 2
+
+    def test_foreign_checkin_rejected(self):
+        pool = ConnectionPool(Resource, max_size=1)
+        with pytest.raises(PoolError, match="not checked out"):
+            pool.checkin(Resource())
+
+    def test_close_disposes_idle_and_refuses_checkout(self):
+        pool = ConnectionPool(Resource, max_size=2)
+        idle = pool.checkout()
+        still_out = pool.checkout()
+        pool.checkin(idle)
+        pool.close()
+        pool.close()  # idempotent
+        assert idle.closed
+        with pytest.raises(PoolError, match="closed"):
+            pool.checkout()
+        # A connection checked in after close is disposed, not parked.
+        pool.checkin(still_out)
+        assert still_out.closed
+        assert pool.stats().idle == 0
+
+    def test_factory_failure_releases_capacity(self):
+        calls = itertools.count()
+
+        def flaky_factory():
+            if next(calls) == 0:
+                raise RuntimeError("handshake failed")
+            return Resource()
+
+        pool = ConnectionPool(flaky_factory, max_size=1)
+        with pytest.raises(RuntimeError, match="handshake"):
+            pool.checkout()
+        # The failed creation must not leak its capacity slot.
+        connection = pool.checkout()
+        assert isinstance(connection, Resource)
+        assert pool.stats().created == 1
+
+    def test_no_resource_shared_across_threads(self):
+        pool = ConnectionPool(Resource, max_size=3)
+        violations = []
+
+        def hammer():
+            for _ in range(40):
+                with pool.connection() as resource:
+                    if not resource.busy.acquire(blocking=False):
+                        violations.append(resource.id)
+                    else:
+                        time.sleep(0.0002)
+                        resource.busy.release()
+
+        with ThreadPoolExecutor(max_workers=8) as workers:
+            for future in [workers.submit(hammer) for _ in range(8)]:
+                future.result()
+        assert not violations, "a pooled resource was used by two threads"
+        stats = pool.stats()
+        assert stats.created <= 3
+        assert stats.max_in_use <= 3
+        assert stats.in_use == 0
+
+
+class TestPooledSqliteUnderParallelExecutor:
+    def test_parallel_probes_match_serial_and_respect_cap(
+        self, products_db, products_probes
+    ):
+        with SqliteEngine(products_db, pool_size=3) as engine:
+            serial = [engine.is_alive(probe) for probe in products_probes]
+            evaluator = InstrumentedEvaluator(engine, use_cache=False)
+            with ParallelProbeExecutor(workers=8) as executor:
+                batch = evaluator.probe_many(
+                    products_probes * 3, executor=executor
+                )
+            assert batch.results == serial * 3
+            stats = engine.pool_stats()
+            assert stats.max_in_use <= 3
+            assert stats.in_use == 0
+
+
+# ----------------------------------------------------------------- registry
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = backend_names()
+        assert {"memory", "simulated", "sqlite"} <= set(names)
+        assert names == tuple(sorted(names))
+
+    def test_capabilities_declared(self):
+        assert get_backend_spec("memory").capabilities.enumeration
+        sqlite_caps = get_backend_spec("sqlite").capabilities
+        assert sqlite_caps.thread_safe and sqlite_caps.pooling
+        simulated = get_backend_spec("simulated").capabilities
+        assert simulated.deterministic_latency
+        assert "pooling" in sqlite_caps.describe()
+
+    def test_unknown_backend_is_value_error(self, products_db):
+        with pytest.raises(BackendRegistryError, match="registered backends"):
+            create_backend("oracle", products_db)
+        assert issubclass(BackendRegistryError, ValueError)
+
+    def test_duplicate_registration_refused(self):
+        spec = get_backend_spec("memory")
+        with pytest.raises(BackendRegistryError, match="already registered"):
+            register_backend("memory", spec.factory, spec.capabilities)
+
+    def test_third_party_registration(self, products_db):
+        class AlwaysDead:
+            def is_alive(self, query):
+                return False
+
+        name = "test-always-dead"
+        try:
+            register_backend(
+                name, lambda database, **options: AlwaysDead(),
+                BackendCapabilities(),
+            )
+            backend = create_backend(name, products_db)
+            assert isinstance(backend, AlivenessBackend)
+        finally:
+            _REGISTRY.pop(name, None)
+
+    def test_create_backend_forwards_options(self, products_db):
+        backend = create_backend("sqlite", products_db, pool_size=2)
+        try:
+            assert backend.pool_size == 2
+        finally:
+            backend.close()
+
+    def test_memory_backend_is_in_memory_engine(self, products_db):
+        assert isinstance(create_backend("memory", products_db), InMemoryEngine)
+
+
+# -------------------------------------------------------------- conformance
+class TestConformance:
+    @pytest.mark.parametrize("name", backend_names())
+    def test_every_registered_backend_conforms(
+        self, name, products_db, products_probes
+    ):
+        checks = check_backend(name, products_db, products_probes[:12])
+        assert checks["probes"] == min(12, len(products_probes))
+        if get_backend_spec(name).capabilities.thread_safe:
+            assert checks["concurrent"] > 0
+
+    def test_lying_backend_fails(self, products_db, products_probes):
+        class Liar:
+            def is_alive(self, query):
+                return False  # the toy DB has alive probes, so this lies
+
+        name = "test-liar"
+        try:
+            register_backend(
+                name, lambda database, **options: Liar(), BackendCapabilities()
+            )
+            with pytest.raises(ConformanceFailure, match="wrong aliveness"):
+                check_backend(name, products_db, products_probes[:12])
+        finally:
+            _REGISTRY.pop(name, None)
+
+    def test_needs_probes(self, products_db):
+        with pytest.raises(ValueError, match="at least one probe"):
+            check_backend("memory", products_db, [])

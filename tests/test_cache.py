@@ -1,0 +1,315 @@
+"""Tests for the persistent two-tier probe cache (fingerprint, store, L2)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cache import ProbeCache, ProbeCacheError, clear_cache_dir, inspect_cache_dir
+from repro.cache.keys import query_cache_key
+from repro.core.debugger import NonAnswerDebugger
+from repro.core.session import DebugSession
+from repro.datasets.products import product_database
+from repro.obs import ProbeBudget, ProbeTracer
+from repro.relational.evaluator import InstrumentedEvaluator
+
+
+@pytest.fixture()
+def products_probes(products_debugger):
+    mapping = products_debugger.map_keywords("saffron scented candle")
+    graph = products_debugger.build_graph(products_debugger.prune(mapping))
+    return [graph.node(index).query for index in range(len(graph))]
+
+
+class CountingBackend:
+    """Delegates to the in-memory engine, counting backend executions."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def is_alive(self, query):
+        with self._lock:
+            self.calls += 1
+        return self.inner.is_alive(query)
+
+
+class RecordingStore:
+    """ProbeStore fake that records every get/put."""
+
+    def __init__(self):
+        self.gets = []
+        self.puts = []
+
+    def get(self, query):
+        self.gets.append(query)
+        return None
+
+    def put(self, query, alive):
+        self.puts.append((query, alive))
+
+
+# -------------------------------------------------------------- fingerprint
+class TestFingerprint:
+    def test_deterministic_across_builds(self, products_db):
+        rebuilt = product_database()
+        assert products_db.fingerprint() == rebuilt.fingerprint()
+        assert products_db.fingerprint() == products_db.fingerprint()
+
+    def test_mutation_changes_fingerprint(self):
+        database = product_database()
+        before = database.fingerprint()
+        table = next(database.iter_tables())
+        database.insert(table.relation.name, list(table)[0])
+        assert database.fingerprint() != before
+
+
+class TestQueryCacheKey:
+    def test_equal_queries_share_a_key(self, products_db, products_probes):
+        schema = products_db.schema
+        for probe in products_probes:
+            assert query_cache_key(probe, schema) == query_cache_key(probe, schema)
+
+    def test_distinct_queries_get_distinct_keys(self, products_db, products_probes):
+        schema = products_db.schema
+        keys = {query_cache_key(probe, schema) for probe in products_probes}
+        assert len(keys) == len(products_probes)
+
+
+# -------------------------------------------------------------------- store
+class TestProbeCache:
+    def test_roundtrip_and_persistence(self, tmp_path, products_db, products_probes):
+        schema = products_db.schema
+        fingerprint = products_db.fingerprint()
+        probe = products_probes[0]
+        with ProbeCache.open_dir(tmp_path, schema, fingerprint) as cache:
+            assert cache.get(probe) is None
+            cache.put(probe, True)
+            assert cache.get(probe) is True
+            cache.put(probe, False)  # last write wins
+            assert cache.get(probe) is False
+            assert len(cache) == 1
+            stats = cache.stats()
+            assert stats.hits == 2 and stats.misses == 1 and stats.writes == 2
+        # A fresh process sees the same answers.
+        with ProbeCache.open_dir(tmp_path, schema, fingerprint) as reopened:
+            assert reopened.get(probe) is False
+            assert len(reopened) == 1
+
+    def test_stale_fingerprint_evicted_on_attach(
+        self, tmp_path, products_db, products_probes
+    ):
+        schema = products_db.schema
+        probe = products_probes[0]
+        with ProbeCache.open_dir(tmp_path, schema, "fp-old") as cache:
+            cache.put(probe, True)
+        with ProbeCache.open_dir(tmp_path, schema, "fp-new") as cache:
+            assert cache.stale_evicted == 1
+            assert cache.get(probe) is None
+            assert len(cache) == 0
+
+    def test_clear_and_closed_errors(self, tmp_path, products_db, products_probes):
+        schema = products_db.schema
+        cache = ProbeCache.open_dir(tmp_path, schema, "fp")
+        cache.put(products_probes[0], True)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        cache.close()
+        cache.close()  # idempotent
+        with pytest.raises(ProbeCacheError, match="closed"):
+            cache.get(products_probes[0])
+
+    def test_dir_level_inspect_and_clear(
+        self, tmp_path, products_db, products_probes
+    ):
+        assert inspect_cache_dir(tmp_path)["exists"] is False
+        assert clear_cache_dir(tmp_path) == 0
+        with ProbeCache.open_dir(tmp_path, products_db.schema, "fp") as cache:
+            cache.put(products_probes[0], True)
+            cache.put(products_probes[1], False)
+        info = inspect_cache_dir(tmp_path)
+        assert info["exists"] and info["entries"] == 2
+        assert info["fingerprints"]["fp"] == {"entries": 2, "alive": 1}
+        assert clear_cache_dir(tmp_path) == 2
+        assert inspect_cache_dir(tmp_path)["entries"] == 0
+
+
+# ----------------------------------------------------------- evaluator tiers
+class TestEvaluatorTiers:
+    def make(self, products_debugger, cache, tracer=None, budget=None):
+        backend = CountingBackend(products_debugger.backend)
+        evaluator = InstrumentedEvaluator(
+            backend, probe_cache=cache, tracer=tracer, budget=budget
+        )
+        return backend, evaluator
+
+    def test_l1_then_l2_then_backend(self, tmp_path, products_db, products_debugger, products_probes):
+        cache = ProbeCache.open_dir(
+            tmp_path, products_db.schema, products_db.fingerprint()
+        )
+        tracer = ProbeTracer()
+        backend, cold = self.make(products_debugger, cache, tracer)
+        probe = products_probes[0]
+
+        alive = cold.is_alive(probe)
+        assert backend.calls == 1
+        assert cold.is_alive(probe) is alive  # L1 hit
+        assert backend.calls == 1
+        assert cold.stats.l1_hits == 1 and cold.stats.l2_hits == 0
+        assert cold.stats.cache_hits == 1
+
+        # Fresh evaluator (empty L1), same store: L2 answers, then promotes.
+        warm_backend, warm = self.make(products_debugger, cache, tracer)
+        assert warm.is_alive(probe) is alive
+        assert warm_backend.calls == 0
+        assert warm.stats.l2_hits == 1 and warm.stats.queries_executed == 0
+        assert warm.stats.cache_misses == 0
+        assert warm.is_alive(probe) is alive  # promoted into L1
+        assert warm.stats.l1_hits == 1
+
+        tiers = [span.cache_tier for span in tracer.spans]
+        assert tiers == ["backend", "l1", "l2", "l1"]
+        assert "L2 1" in str(warm.stats)
+        cache.close()
+
+    def test_l2_hits_are_budget_free(
+        self, tmp_path, products_db, products_debugger, products_probes
+    ):
+        cache = ProbeCache.open_dir(
+            tmp_path, products_db.schema, products_db.fingerprint()
+        )
+        for probe in products_probes:
+            cache.put(probe, products_debugger.backend.is_alive(probe))
+        budget = ProbeBudget(max_queries=1)
+        backend, warm = self.make(products_debugger, cache, budget=budget)
+        for probe in products_probes:  # many more probes than the budget
+            warm.is_alive(probe)
+        assert backend.calls == 0
+        assert budget.queries_used == 0
+        cache.close()
+
+    def test_non_reuse_evaluator_ignores_the_store(
+        self, products_debugger, products_probes
+    ):
+        store = RecordingStore()
+        backend = CountingBackend(products_debugger.backend)
+        evaluator = InstrumentedEvaluator(
+            backend, use_cache=False, probe_cache=store
+        )
+        evaluator.is_alive(products_probes[0])
+        evaluator.is_alive(products_probes[0])
+        assert backend.calls == 2  # re-executed, as BU/TD semantics require
+        assert store.gets == [] and store.puts == []
+
+    def test_trace_spans_validate_with_cache_tier(
+        self, tmp_path, products_db, products_debugger, products_probes
+    ):
+        from repro.obs import validate_trace_record
+
+        cache = ProbeCache.open_dir(
+            tmp_path, products_db.schema, products_db.fingerprint()
+        )
+        tracer = ProbeTracer()
+        _, evaluator = self.make(products_debugger, cache, tracer)
+        evaluator.is_alive(products_probes[0])
+        evaluator.is_alive(products_probes[0])
+        for record in tracer.records:
+            payload = record.to_dict()
+            assert validate_trace_record(payload) == "span"
+            assert payload["cache_tier"] in ("backend", "l1", "l2")
+        cache.close()
+
+
+# --------------------------------------------------------- warm-start, e2e
+class TestWarmStart:
+    QUERY = "saffron scented candle"
+
+    def test_second_debugger_session_executes_zero_queries(self, tmp_path):
+        cache_dir = tmp_path / "probe-cache"
+        with NonAnswerDebugger(
+            product_database(), max_joins=2, cache_dir=cache_dir
+        ) as cold:
+            cold_report = cold.debug(self.QUERY)
+        assert cold_report.traversal.stats.queries_executed > 0
+
+        with NonAnswerDebugger(
+            product_database(), max_joins=2, cache_dir=cache_dir
+        ) as warm:
+            warm_report = warm.debug(self.QUERY)
+        stats = warm_report.traversal.stats
+        assert stats.queries_executed == 0
+        assert stats.l2_hits > 0
+        assert (
+            warm_report.traversal.classification_signature()
+            == cold_report.traversal.classification_signature()
+        )
+        assert {q.describe() for q in warm_report.non_answers()} == {
+            q.describe() for q in cold_report.non_answers()
+        }
+        assert [
+            [m.describe() for m in mpans]
+            for _, mpans in warm_report.explanations()
+        ] == [
+            [m.describe() for m in mpans]
+            for _, mpans in cold_report.explanations()
+        ]
+
+    def test_mutated_dataset_invalidates_the_cache(self, tmp_path):
+        cache_dir = tmp_path / "probe-cache"
+        with NonAnswerDebugger(
+            product_database(), max_joins=2, cache_dir=cache_dir
+        ) as cold:
+            cold.debug(self.QUERY)
+
+        mutated = product_database()
+        table = next(mutated.iter_tables())
+        mutated.insert(table.relation.name, list(table)[0])
+        assert mutated.fingerprint() != product_database().fingerprint()
+        with NonAnswerDebugger(
+            mutated, max_joins=2, cache_dir=cache_dir
+        ) as fresh:
+            assert fresh.probe_cache.stale_evicted > 0
+            report = fresh.debug(self.QUERY)
+        assert report.traversal.stats.queries_executed > 0
+        assert report.traversal.stats.l2_hits == 0
+
+    def test_debug_session_inherits_the_cache(self, tmp_path):
+        cache_dir = tmp_path / "probe-cache"
+        with NonAnswerDebugger(
+            product_database(), max_joins=2, cache_dir=cache_dir
+        ) as cold:
+            cold_session = DebugSession(cold, self.QUERY)
+            cold_session.explain_all()
+        with NonAnswerDebugger(
+            product_database(), max_joins=2, cache_dir=cache_dir
+        ) as warm:
+            warm_session = DebugSession(warm, self.QUERY)
+            warm_session.explain_all()
+            assert warm_session.evaluator.stats.queries_executed == 0
+            assert warm_session.evaluator.stats.l2_hits > 0
+
+    def test_debugger_without_cache_dir_has_no_store(self, products_debugger):
+        assert products_debugger.probe_cache is None
+        assert products_debugger.make_evaluator().probe_cache is None
+
+
+# ------------------------------------------------------------------- bench
+class TestCacheBench:
+    def test_cache_bench_smoke(self, tmp_path):
+        from repro.bench.cache import run_cache_bench
+        from repro.bench.context import BenchContext
+
+        table, payload = run_cache_bench(
+            BenchContext.create(),
+            level=3,
+            cache_dir=tmp_path,
+            latency=0.0,
+            strategies=("sbh",),
+        )
+        assert payload["signatures_match"]
+        assert payload["warm_queries_total"] == 0
+        assert payload["query_speedup"] >= payload["speedup_gate"]
+        assert payload["passed"]
+        assert "sbh" in table.render()

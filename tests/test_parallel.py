@@ -75,19 +75,28 @@ class TestSqliteThreadSafety:
                 concurrent = list(pool.map(engine.is_alive, probes * 4))
             assert concurrent == serial * 4
 
-    def test_one_connection_per_thread(self, products_db):
-        with SqliteEngine(products_db) as engine:
+    def test_concurrent_checkouts_draw_distinct_pooled_connections(
+        self, products_db
+    ):
+        """3 threads holding checkouts at once get 3 distinct connections."""
+        with SqliteEngine(products_db, pool_size=4) as engine:
+            # Only the anchor connection exists before any checkout.
             assert engine.connection_count == 1
             barrier = threading.Barrier(3)
 
             def checkout():
-                barrier.wait(timeout=5)
-                return engine.connection
+                with engine._pool.connection() as connection:
+                    barrier.wait(timeout=5)  # all 3 held simultaneously
+                    return id(connection)
 
             with ThreadPoolExecutor(max_workers=3) as pool:
-                handles = list(pool.map(lambda _: checkout(), range(3)))
-            assert len(set(map(id, handles))) == 3
-            assert engine.connection_count == 4
+                held = list(pool.map(lambda _: checkout(), range(3)))
+            assert len(set(held)) == 3
+            stats = engine.pool_stats()
+            assert stats.created == 3
+            assert stats.max_in_use == 3
+            assert stats.in_use == 0  # all returned afterwards
+            assert engine.connection_count == 4  # anchor + 3 idle
 
     def test_closed_engine_refuses_new_connections(self, products_db):
         import sqlite3

@@ -4,11 +4,15 @@ import json
 
 import pytest
 
+from repro.core.lattice import Lattice
 from repro.core.persistence import (
     PersistenceError,
+    decode_query,
     decode_tree,
+    encode_query,
     encode_tree,
     load_lattice,
+    load_report,
     report_to_dict,
     save_lattice,
     save_report,
@@ -89,3 +93,129 @@ class TestReportExport:
         save_report(report, path)
         parsed = json.loads(path.read_text())
         assert parsed["kind"] == "debug_report"
+
+
+class TestAtomicWrites:
+    def test_no_temp_files_left_behind(self, products_debugger, tmp_path):
+        save_lattice(products_debugger.lattice, tmp_path / "lattice.json")
+        save_report(products_debugger.debug("red candle"), tmp_path / "r.json")
+        names = {entry.name for entry in tmp_path.iterdir()}
+        assert names == {"lattice.json", "r.json"}
+
+    def test_overwrite_replaces_content(self, products_debugger, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(products_debugger.debug("red candle"), path)
+        save_report(products_debugger.debug("saffron scented candle"), path)
+        assert json.loads(path.read_text())["query"] == "saffron scented candle"
+
+    def test_failed_write_keeps_the_old_artifact(self, products_debugger, tmp_path):
+        from repro.core import persistence
+
+        path = tmp_path / "report.json"
+        report = products_debugger.debug("red candle")
+        save_report(report, path)
+        before = path.read_text()
+
+        class Unserializable:
+            pass
+
+        broken = report_to_dict(report)
+        broken["oops"] = Unserializable()
+        with pytest.raises(TypeError):
+            persistence._atomic_write_text(
+                path, json.dumps(broken)  # json.dumps raises before any write
+            )
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestFromParts:
+    def test_rebuilds_identical_lattice(self, products_debugger):
+        lattice = products_debugger.lattice
+        rebuilt = Lattice.from_parts(
+            lattice.schema,
+            lattice.max_joins,
+            nodes=[(node.tree, node.parents) for node in lattice.nodes],
+            max_keywords=lattice.max_keywords,
+            distinct_slots=lattice.distinct_slots,
+            free_copies=lattice.free_copies,
+            stats=lattice.stats,
+        )
+        assert len(rebuilt) == len(lattice)
+        for original, restored in zip(lattice.nodes, rebuilt.nodes):
+            assert original.tree == restored.tree
+            assert sorted(original.parents) == sorted(restored.parents)
+            assert sorted(original.children) == sorted(restored.children)
+
+    def test_duplicate_tree_rejected(self, products_debugger):
+        lattice = products_debugger.lattice
+        tree = lattice.nodes[0].tree
+        with pytest.raises(ValueError, match="duplicate join tree"):
+            Lattice.from_parts(
+                lattice.schema, lattice.max_joins, nodes=[(tree, []), (tree, [])]
+            )
+
+    def test_dangling_parent_rejected(self, products_debugger):
+        lattice = products_debugger.lattice
+        tree = lattice.nodes[0].tree
+        with pytest.raises(ValueError, match="dangling parent"):
+            Lattice.from_parts(
+                lattice.schema, lattice.max_joins, nodes=[(tree, [99])]
+            )
+
+    def test_corrupt_lattice_file_is_persistence_error(
+        self, products_debugger, products_db, tmp_path
+    ):
+        path = tmp_path / "lattice.json"
+        save_lattice(products_debugger.lattice, path)
+        payload = json.loads(path.read_text())
+        payload["nodes"][1] = payload["nodes"][0]  # duplicate a node
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="corrupt lattice file"):
+            load_lattice(path, products_db.schema)
+
+
+class TestReportRoundtrip:
+    def test_query_roundtrip(self, products_debugger):
+        report = products_debugger.debug("saffron scented candle")
+        for query in report.non_answers() + report.answers():
+            assert decode_query(encode_query(query)) == query
+
+    def test_malformed_query_payload(self):
+        with pytest.raises(PersistenceError, match="malformed bound query"):
+            decode_query({"bindings": [], "mode": "token"})  # no tree
+
+    def test_load_report_roundtrip(self, products_debugger, tmp_path):
+        report = products_debugger.debug("saffron scented candle")
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        loaded = load_report(path)
+        assert loaded["query"] == "saffron scented candle"
+        assert loaded["answers"] == report.answers()
+        assert [entry["query"] for entry in loaded["non_answers"]] == (
+            report.non_answers()
+        )
+        for entry, (_, mpans) in zip(
+            loaded["non_answers"], report.explanations()
+        ):
+            assert entry["mpans"] == mpans
+
+    def test_load_report_rejects_other_kinds(
+        self, products_debugger, products_db, tmp_path
+    ):
+        path = tmp_path / "lattice.json"
+        save_lattice(products_debugger.lattice, path)
+        with pytest.raises(PersistenceError, match="not a v1 debug report"):
+            load_report(path)
+
+    def test_load_report_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "truncated.json"
+        path.write_text(json.dumps({"kind": "debug_report", "format": 1}))
+        with pytest.raises(PersistenceError, match="missing report field"):
+            load_report(path)
+
+    def test_load_report_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"kind": "debug_report"')
+        with pytest.raises(PersistenceError, match="not valid JSON"):
+            load_report(path)
