@@ -1,0 +1,222 @@
+"""Dynamic lock-order detection (``CONC005``).
+
+The static pass (:mod:`repro.analysis.concurrency`) checks each class's
+discipline in isolation; what it cannot see is the *inter*-lock order --
+the evaluator taking its L1 lock, then calling into the pool, which
+takes the pool condition, while another code path nests the same two
+locks the other way around.  Two locks acquired in both orders on
+different threads is the classic deadlock recipe, and it only shows up
+when real code paths run.
+
+:class:`LockOrderMonitor` makes it observable without changing any
+production code: :meth:`instrument` swaps a named ``threading.Lock`` /
+``Condition`` attribute for a transparent proxy that records, per
+thread, the stack of monitored locks held at each acquisition.  Every
+acquisition of ``B`` while holding ``A`` adds the edge ``A -> B`` to a
+process-wide acquisition graph; a cycle in that graph is a potential
+deadlock, reported as a ``CONC005`` diagnostic by :meth:`report` (and as
+an ``AssertionError`` by :meth:`assert_clean`, the form the threaded
+test suites use).
+
+``Condition.wait`` releases the underlying lock while blocking, so the
+condition proxy pops the label around the wait and re-pushes it on
+wakeup -- otherwise every waiter would appear to hold the lock across
+the wait and the graph would report phantom orderings.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+
+
+class _LockProxy:
+    """Context-manager/acquire-release facade over one monitored lock."""
+
+    def __init__(self, monitor: "LockOrderMonitor", lock: Any, label: str):
+        self._monitor = monitor
+        self._lock = lock
+        self.label = label
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        # The proxy must mirror the raw acquire/release API; pairing is
+        # the instrumented caller's responsibility, not the proxy's.
+        acquired = self._lock.acquire(blocking, timeout)  # repro: noqa CONC002
+        if acquired:
+            self._monitor._note_acquire(self.label)
+        return acquired
+
+    def release(self) -> None:
+        self._monitor._note_release(self.label)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return bool(self._lock.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class _ConditionProxy(_LockProxy):
+    """Monitored ``threading.Condition`` (wait temporarily drops the label)."""
+
+    def wait(self, timeout: float | None = None) -> bool:
+        self._monitor._note_release(self.label)
+        try:
+            return bool(self._lock.wait(timeout))
+        finally:
+            # The condition re-acquired its lock before returning; record
+            # the re-acquisition against whatever the thread holds now.
+            self._monitor._note_acquire(self.label)
+
+    def wait_for(self, predicate: Any, timeout: float | None = None) -> Any:
+        self._monitor._note_release(self.label)
+        try:
+            return self._lock.wait_for(predicate, timeout)
+        finally:
+            self._monitor._note_acquire(self.label)
+
+    def notify(self, n: int = 1) -> None:
+        self._lock.notify(n)
+
+    def notify_all(self) -> None:
+        self._lock.notify_all()
+
+
+class LockOrderMonitor:
+    """Records the cross-lock acquisition graph of monitored locks."""
+
+    def __init__(self) -> None:
+        self._graph_lock = threading.Lock()
+        self._held = threading.local()
+        #: ``(outer, inner) -> count``: inner acquired while outer held.
+        self._edges: dict[tuple[str, str], int] = {}
+        #: ``label -> count`` of successful acquisitions.
+        self._acquisitions: dict[str, int] = {}
+
+    # ------------------------------------------------------------- wrapping
+    def wrap_lock(self, lock: Any, label: str) -> _LockProxy:
+        return _LockProxy(self, lock, label)
+
+    def wrap_condition(self, condition: Any, label: str) -> _ConditionProxy:
+        return _ConditionProxy(self, condition, label)
+
+    def instrument(self, obj: Any, attr: str, label: str | None = None) -> Any:
+        """Replace ``obj.<attr>`` with a monitored proxy; returns the proxy.
+
+        The kind (lock vs condition) is sniffed from the presence of a
+        ``wait`` method.  Instrumenting an already-instrumented attribute
+        is refused -- double wrapping would double-count every edge.
+        """
+        target = getattr(obj, attr)
+        if isinstance(target, _LockProxy):
+            raise ValueError(f"{attr!r} is already instrumented")
+        name = label if label is not None else f"{type(obj).__name__}.{attr}"
+        if hasattr(target, "wait"):
+            proxy: _LockProxy = self.wrap_condition(target, name)
+        else:
+            proxy = self.wrap_lock(target, name)
+        setattr(obj, attr, proxy)
+        return proxy
+
+    # ------------------------------------------------------------ recording
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def _note_acquire(self, label: str) -> None:
+        stack = self._stack()
+        with self._graph_lock:
+            self._acquisitions[label] = self._acquisitions.get(label, 0) + 1
+            for outer in stack:
+                if outer != label:
+                    edge = (outer, label)
+                    self._edges[edge] = self._edges.get(edge, 0) + 1
+        stack.append(label)
+
+    def _note_release(self, label: str) -> None:
+        stack = self._stack()
+        # Remove the most recent occurrence (locks release LIFO, but a
+        # condition wait may interleave with other monitored locks).
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == label:
+                del stack[index]
+                break
+
+    # ------------------------------------------------------------ reporting
+    def edges(self) -> dict[tuple[str, str], int]:
+        with self._graph_lock:
+            return dict(self._edges)
+
+    def acquisitions(self) -> dict[str, int]:
+        with self._graph_lock:
+            return dict(self._acquisitions)
+
+    def inversions(self) -> list[tuple[str, str]]:
+        """Lock pairs observed nested in both orders (2-cycles)."""
+        edges = self.edges()
+        found = []
+        for outer, inner in edges:
+            if outer < inner and (inner, outer) in edges:
+                found.append((outer, inner))
+        return sorted(found)
+
+    def cycles(self) -> list[list[str]]:
+        """Every elementary dependency cycle in the acquisition graph."""
+        adjacency: dict[str, set[str]] = {}
+        for outer, inner in self.edges():
+            adjacency.setdefault(outer, set()).add(inner)
+
+        found: list[list[str]] = []
+        seen: set[tuple[str, ...]] = set()
+
+        def walk(node: str, path: list[str], on_path: set[str]) -> None:
+            for successor in sorted(adjacency.get(node, ())):
+                if successor in on_path:
+                    cycle = path[path.index(successor):]
+                    # Canonical rotation dedupes A->B->A vs B->A->B.
+                    pivot = cycle.index(min(cycle))
+                    key = tuple(cycle[pivot:] + cycle[:pivot])
+                    if key not in seen:
+                        seen.add(key)
+                        found.append(list(key))
+                    continue
+                walk(successor, path + [successor], on_path | {successor})
+
+        for start in sorted(adjacency):
+            walk(start, [start], {start})
+        return found
+
+    def report(self) -> DiagnosticReport:
+        """``CONC005`` diagnostics, one per observed cycle."""
+        report = DiagnosticReport()
+        for cycle in self.cycles():
+            chain = " -> ".join(cycle + [cycle[0]])
+            report.add(
+                Diagnostic(
+                    "CONC005",
+                    f"locks acquired in a cyclic order: {chain}",
+                    f"lockorder:{cycle[0]}",
+                    hint="impose one global acquisition order, or release "
+                    "the first lock before taking the second",
+                )
+            )
+        return report
+
+    def assert_clean(self) -> None:
+        """Raise ``AssertionError`` listing any cycle (for test suites)."""
+        report = self.report()
+        if not report.ok:
+            raise AssertionError(report.render())
+
+    def held_now(self) -> Iterator[str]:
+        """Labels this thread currently holds (debugging aid)."""
+        return iter(tuple(self._stack()))

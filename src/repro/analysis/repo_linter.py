@@ -16,8 +16,9 @@ constructor call) default is shared across calls; use ``None`` or a
 dataclass ``field(default_factory=...)``.
 
 ``LINT003`` *missing-annotation* -- every public function or method in
-``repro.core`` and ``repro.relational`` must annotate all parameters and
-its return type, so the mypy-strict gate stays meaningful.
+the packages listed in :data:`ANNOTATION_REQUIRED` (core, relational,
+parallel, backends, cache, obs) must annotate all parameters and its
+return type, so the mypy-strict gate stays meaningful.
 """
 
 from __future__ import annotations
@@ -32,7 +33,14 @@ from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
 NONDETERMINISM_EXEMPT: tuple[str, ...] = ("repro/bench/",)
 
 #: Packages whose public functions must be fully type-annotated.
-ANNOTATION_REQUIRED: tuple[str, ...] = ("repro/core/", "repro/relational/")
+ANNOTATION_REQUIRED: tuple[str, ...] = (
+    "repro/core/",
+    "repro/relational/",
+    "repro/parallel/",
+    "repro/backends/",
+    "repro/cache/",
+    "repro/obs/",
+)
 
 #: ``random`` module attributes that do NOT touch the global RNG.
 _RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})

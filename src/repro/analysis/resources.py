@@ -1,0 +1,287 @@
+"""Static resource-leak lint (``RES001``-``RES003``).
+
+Companion pass to :mod:`repro.analysis.concurrency`, covering the three
+resource kinds this codebase manages by hand:
+
+* ``RES001`` *pool-checkout-leak* -- ``pool.checkout()`` assigned to a
+  variable must be followed immediately by a ``try/finally`` that calls
+  ``checkin()`` (or ``release()``); otherwise any exception between the
+  checkout and the checkin leaks a pooled connection, and enough leaks
+  wedge every thread waiting on the pool's capacity condition.  The
+  sanctioned idiom is ``with pool.connection():``, which is exactly that
+  ``try/finally`` (see :meth:`repro.backends.pool.ConnectionPool.connection`).
+* ``RES002`` *sqlite-handle-leak* -- every ``sqlite3.connect()`` (and
+  every bare ``.cursor()``) must have an owned lifecycle: stored on
+  ``self`` in a class that defines ``close()``, closed in a ``finally``,
+  used as a context manager, or *returned* to a caller that owns it (the
+  connection-factory pattern the pool consumes).
+* ``RES003`` *non-atomic-artifact-write* -- a write-mode ``open()`` (or
+  ``Path.write_text``/``write_bytes``) outside :mod:`repro.ioutil`: a
+  crash mid-write leaves a truncated artifact, which is why every
+  artifact writer in the tree routes through
+  :func:`repro.ioutil.atomic_write_text` (tempfile + ``os.replace``).
+
+Like the other AST passes, the rules are scoped to the idioms this
+repository actually uses; they aim for zero false positives on the real
+tree, with an inline ``repro: noqa`` comment as the documented escape
+hatch (see :mod:`repro.analysis.suppressions`).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Modules allowed to open files for writing: the atomic-write helper.
+ATOMIC_WRITE_EXEMPT: tuple[str, ...] = ("repro/ioutil.py",)
+
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _parents_of(module: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(module):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _enclosing(
+    node: ast.AST,
+    parents: dict[ast.AST, ast.AST],
+    kinds: tuple[type, ...],
+) -> ast.AST | None:
+    current = parents.get(node)
+    while current is not None and not isinstance(current, kinds):
+        current = parents.get(current)
+    return current
+
+
+def _finalbody_calls(try_stmt: ast.Try, method_names: set[str]) -> bool:
+    for stmt in try_stmt.finalbody:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in method_names
+            ):
+                return True
+    return False
+
+
+def _next_sibling(
+    stmt: ast.stmt, parents: dict[ast.AST, ast.AST]
+) -> ast.stmt | None:
+    parent = parents.get(stmt)
+    if parent is None:
+        return None
+    for fieldname in ("body", "orelse", "finalbody", "handlers"):
+        body = getattr(parent, fieldname, None)
+        if isinstance(body, list) and stmt in body:
+            index = body.index(stmt)
+            return body[index + 1] if index + 1 < len(body) else None
+    return None
+
+
+def _function_returns_var(
+    function: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+) -> bool:
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Return)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == name
+        ):
+            return True
+    return False
+
+
+def _class_defines_close(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == "close"
+        for item in cls.body
+    )
+
+
+def _lifecycle_ok(
+    call: ast.Call,
+    parents: dict[ast.AST, ast.AST],
+    close_names: set[str],
+) -> bool:
+    """Whether ``call``'s produced handle has an owned lifecycle."""
+    parent = parents.get(call)
+    # Returned directly: the caller owns it.
+    if isinstance(parent, ast.Return):
+        return True
+    # ``with sqlite3.connect(...) as conn:`` -- scoped by the with.
+    if isinstance(parent, ast.withitem):
+        return True
+    if not isinstance(parent, ast.Assign) or len(parent.targets) != 1:
+        return False
+    target = parent.targets[0]
+    # ``self.x = connect()`` inside a class that defines close().
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        cls = _enclosing(parent, parents, (ast.ClassDef,))
+        return isinstance(cls, ast.ClassDef) and _class_defines_close(cls)
+    if not isinstance(target, ast.Name):
+        return False
+    # ``x = connect()`` followed by try/finally x.close()-style cleanup.
+    following = _next_sibling(parent, parents)
+    if isinstance(following, ast.Try) and _finalbody_calls(
+        following, close_names
+    ):
+        return True
+    # Factory pattern: the handle is returned to a caller that owns it.
+    function = _enclosing(
+        parent, parents, (ast.FunctionDef, ast.AsyncFunctionDef)
+    )
+    if isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return _function_returns_var(function, target.id)
+    return False
+
+
+def _check_pool_checkouts(
+    module: ast.Module,
+    parents: dict[ast.AST, ast.AST],
+    relative: str,
+    found: list[Diagnostic],
+) -> None:
+    for node in ast.walk(module):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "checkout"
+        ):
+            continue
+        parent = parents.get(node)
+        ok = False
+        if isinstance(parent, ast.Assign):
+            following = _next_sibling(parent, parents)
+            ok = isinstance(following, ast.Try) and _finalbody_calls(
+                following, {"checkin", "release"}
+            )
+        if not ok:
+            found.append(
+                Diagnostic(
+                    "RES001",
+                    "pool checkout() is not paired with a try/finally "
+                    "checkin()",
+                    f"{relative}:{node.lineno}",
+                    hint="use 'with pool.connection():' (the pairing is "
+                    "built in)",
+                )
+            )
+
+
+def _check_sqlite_handles(
+    module: ast.Module,
+    parents: dict[ast.AST, ast.AST],
+    relative: str,
+    found: list[Diagnostic],
+) -> None:
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_connect = (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "sqlite3"
+            and func.attr == "connect"
+        )
+        is_cursor = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "cursor"
+            and not node.args
+            and not node.keywords
+        )
+        if not (is_connect or is_cursor):
+            continue
+        if _lifecycle_ok(node, parents, {"close"}):
+            continue
+        what = "sqlite3.connect()" if is_connect else "bare cursor()"
+        found.append(
+            Diagnostic(
+                "RES002",
+                f"{what} handle has no owned lifecycle (no close() on "
+                f"all paths)",
+                f"{relative}:{node.lineno}",
+                hint="close in a finally block, store on a class with "
+                "close(), or return the handle to the owning caller"
+                + (
+                    "; prefer connection.execute(), which scopes its "
+                    "own cursor"
+                    if is_cursor
+                    else ""
+                ),
+            )
+        )
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """The constant mode string of an ``open()`` call, if determinable."""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _check_artifact_writes(
+    module: ast.Module, relative: str, found: list[Diagnostic]
+) -> None:
+    if any(relative.startswith(prefix) for prefix in ATOMIC_WRITE_EXEMPT):
+        return
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_mode(node)
+            if mode is None or not (_WRITE_MODE_CHARS & set(mode)):
+                continue
+            found.append(
+                Diagnostic(
+                    "RES003",
+                    f"file opened for writing (mode {mode!r}) outside the "
+                    f"atomic-write helper",
+                    f"{relative}:{node.lineno}",
+                    hint="write through repro.ioutil.atomic_write_text",
+                )
+            )
+        elif isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            found.append(
+                Diagnostic(
+                    "RES003",
+                    f"direct {func.attr}() bypasses the atomic-write helper",
+                    f"{relative}:{node.lineno}",
+                    hint="write through repro.ioutil.atomic_write_text",
+                )
+            )
+
+
+def lint_resources_source(source: str, relative: str) -> list[Diagnostic]:
+    """All ``RES00x`` diagnostics for one module's source text."""
+    module = ast.parse(source, filename=relative)
+    parents = _parents_of(module)
+    found: list[Diagnostic] = []
+    _check_pool_checkouts(module, parents, relative, found)
+    _check_sqlite_handles(module, parents, relative, found)
+    _check_artifact_writes(module, relative, found)
+    found.sort(key=lambda diagnostic: diagnostic.location)
+    return found

@@ -14,12 +14,43 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.concurrency import lint_concurrency_source
+from repro.analysis.diagnostics import (
+    CODE_FAMILIES,
+    DiagnosticReport,
+    code_family,
+)
 from repro.analysis.plan_linter import lint_lattice
-from repro.analysis.repo_linter import lint_repo
+from repro.analysis.repo_linter import lint_source
+from repro.analysis.resources import lint_resources_source
 from repro.analysis.sql_linter import lint_ddl, lint_lattice_templates
+from repro.analysis.suppressions import apply_suppressions
 from repro.core.lattice import Lattice, generate_lattice
 from repro.relational.schema import SchemaGraph
+
+#: Families applied per source file by :func:`lint_files`.
+FILE_FAMILIES: tuple[str, ...] = ("LINT", "CONC", "RES")
+#: Families produced by the plan/SQL layer of :func:`run_lint`.
+PLAN_FAMILIES: tuple[str, ...] = ("PLAN", "SQL")
+
+
+def normalize_select(select: str | tuple[str, ...] | None) -> tuple[str, ...]:
+    """Validate a ``--select`` value into a family tuple (None = all)."""
+    if select is None:
+        return CODE_FAMILIES
+    if isinstance(select, str):
+        parts = tuple(part.strip().upper() for part in select.split(",") if part.strip())
+    else:
+        parts = tuple(part.upper() for part in select)
+    if not parts:
+        return CODE_FAMILIES
+    unknown = [part for part in parts if part not in CODE_FAMILIES]
+    if unknown:
+        raise ValueError(
+            f"unknown code families {unknown!r}; "
+            f"choose from {', '.join(CODE_FAMILIES)}"
+        )
+    return parts
 
 
 @dataclass(frozen=True)
@@ -31,6 +62,8 @@ class LintOptions:
     check_plan: bool = True
     check_repo: bool = True
     src_root: str | None = None
+    #: Code families to run/report (``None`` = all registered families).
+    select: tuple[str, ...] | None = None
 
 
 def dataset_schema(name: str) -> SchemaGraph:
@@ -62,14 +95,52 @@ def lint_built_lattice(lattice: Lattice) -> DiagnosticReport:
     return report
 
 
+def lint_files(
+    src_root: str | Path | None = None,
+    select: str | tuple[str, ...] | None = None,
+) -> DiagnosticReport:
+    """Run the per-file passes (LINT/CONC/RES) over every module.
+
+    One source read feeds every selected pass, then the file's
+    ``# repro: noqa`` suppressions are applied (stale ones surface as
+    ``LINT004`` warnings, scoped to the families that actually ran).
+    """
+    families = normalize_select(select)
+    if src_root is None:
+        # src/repro/analysis/runner.py -> src
+        src_root = Path(__file__).resolve().parent.parent.parent
+    root = Path(src_root)
+    report = DiagnosticReport()
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if "egg-info" in relative or "__pycache__" in relative:
+            continue
+        source = path.read_text(encoding="utf-8")
+        found = []
+        if "LINT" in families:
+            found.extend(lint_source(source, relative))
+        if "CONC" in families:
+            found.extend(lint_concurrency_source(source, relative))
+        if "RES" in families:
+            found.extend(lint_resources_source(source, relative))
+        report.extend(apply_suppressions(found, source, relative, families))
+    return report
+
+
 def run_lint(options: LintOptions | None = None) -> DiagnosticReport:
     """Execute the configured lint layers and merge their findings."""
     options = options or LintOptions()
+    families = normalize_select(options.select)
     report = DiagnosticReport()
-    if options.check_repo:
-        src_root = Path(options.src_root) if options.src_root else None
-        report.merge(lint_repo(src_root))
-    if options.check_plan:
+    if options.check_repo and any(f in families for f in FILE_FAMILIES):
+        report.merge(lint_files(options.src_root, families))
+    if options.check_plan and any(f in families for f in PLAN_FAMILIES):
         schema = dataset_schema(options.dataset)
-        report.merge(lint_schema_lattice(schema, max_joins=options.level - 1))
+        plan_report = lint_schema_lattice(schema, max_joins=options.level - 1)
+        # The plan layer emits PLAN and SQL together; honor the selection.
+        report.extend(
+            diagnostic
+            for diagnostic in plan_report
+            if code_family(diagnostic.code) in families
+        )
     return report

@@ -1,0 +1,85 @@
+"""Inline ``# repro: noqa CODE`` suppressions for the file-level linters.
+
+A finding can be silenced at its source line with a comment naming the
+exact code(s) -- ``# repro: noqa <CODE>[, <CODE>...]`` with real codes in
+place of the placeholders (spelled with placeholders here so this very
+docstring is not parsed as a suppression).
+
+Blanket suppressions are deliberately impossible: the code list is
+mandatory, and a suppression that silences nothing is itself reported as
+``LINT004`` (warning severity) so stale escapes cannot accumulate.  The
+unused-check is scoped to the *selected* code families -- a ``CONC001``
+suppression is not "unused" during a ``--select RES`` run where the
+concurrency pass never executed.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.diagnostics import (
+    CODE_REGISTRY,
+    Diagnostic,
+    Severity,
+    code_family,
+)
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\s+([A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """``{lineno: {codes}}`` for every noqa comment in ``source`` (1-based)."""
+    suppressions: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",")}
+        suppressions[lineno] = codes
+    return suppressions
+
+
+def _location_line(location: str) -> int | None:
+    """The line number of a ``path:line`` location, or None."""
+    _, _, tail = location.rpartition(":")
+    return int(tail) if tail.isdigit() else None
+
+
+def apply_suppressions(
+    diagnostics: list[Diagnostic],
+    source: str,
+    relative: str,
+    selected_families: tuple[str, ...],
+) -> list[Diagnostic]:
+    """Drop suppressed findings; flag stale suppressions as ``LINT004``.
+
+    Returns the surviving diagnostics (order preserved) with one
+    warning-severity ``LINT004`` appended per suppression code that
+    matched nothing, restricted to codes whose family actually ran
+    (``selected_families``).
+    """
+    suppressions = parse_suppressions(source)
+    if not suppressions:
+        return diagnostics
+    used: dict[int, set[str]] = {lineno: set() for lineno in suppressions}
+    kept: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        lineno = _location_line(diagnostic.location)
+        if lineno in suppressions and diagnostic.code in suppressions[lineno]:
+            used[lineno].add(diagnostic.code)
+            continue
+        kept.append(diagnostic)
+    for lineno in sorted(suppressions):
+        for code in sorted(suppressions[lineno] - used[lineno]):
+            if code in CODE_REGISTRY and code_family(code) not in selected_families:
+                continue  # that pass never ran; can't call it unused
+            kept.append(
+                Diagnostic(
+                    "LINT004",
+                    f"suppression of {code} matches no finding on this line",
+                    f"{relative}:{lineno}",
+                    severity=Severity.WARNING,
+                    hint="delete the stale '# repro: noqa' comment",
+                )
+            )
+    return kept

@@ -13,7 +13,7 @@ a new backend (or a regression in an old one) fails loudly.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.backends.base import EnumeratingBackend
 from repro.backends.registry import create_backend, get_backend_spec
@@ -33,19 +33,46 @@ def _fail(name: str, message: str) -> None:
     raise ConformanceFailure(f"backend {name!r}: {message}")
 
 
+def _instrument_pool_locks(backend: Any, lock_monitor: Any) -> None:
+    """Attach the lock-order monitor to the backend's pool, if it has one.
+
+    ``lock_monitor`` is duck-typed (any object with the
+    :meth:`repro.analysis.lockorder.LockOrderMonitor.instrument` shape)
+    so this low-level package never imports the analysis layer.
+    """
+    pool = getattr(backend, "_pool", None)
+    if pool is None:
+        return
+    # The pool's condition wraps its lock; instrument both attributes
+    # under one label so every acquisition path is observed.
+    for attr in ("_available", "_lock"):
+        if hasattr(pool, attr):
+            lock_monitor.instrument(pool, attr, "backend.pool")
+
+
 def check_backend(
     name: str,
     database: Database,
     probes: Sequence[BoundQuery],
     repeat: int = 3,
+    lock_monitor: Any = None,
 ) -> dict[str, int]:
-    """Run the conformance suite; returns check counters, raises on failure."""
+    """Run the conformance suite; returns check counters, raises on failure.
+
+    With a ``lock_monitor`` (a
+    :class:`repro.analysis.lockorder.LockOrderMonitor`), the backend's
+    connection-pool locks are instrumented for the whole run and an
+    observed acquisition-order cycle fails conformance like any other
+    contract violation.
+    """
     if not probes:
         raise ValueError("conformance needs at least one probe")
     spec = get_backend_spec(name)
     truth_engine = InMemoryEngine(database)
     truth = [truth_engine.is_alive(query) for query in probes]
     backend = create_backend(name, database)
+    if lock_monitor is not None:
+        _instrument_pool_locks(backend, lock_monitor)
     checks = {"probes": 0, "concurrent": 0, "counts": 0}
     try:
         # 1. Correctness: answers match the in-memory ground truth.
@@ -87,6 +114,23 @@ def check_backend(
                 _fail(
                     name,
                     f"pool peak {snapshot.max_in_use} exceeded its cap",
+                )
+            # Every probe path must have checked its connection back in:
+            # a nonzero in-use count here is a leak (see RES001).
+            if snapshot.in_use != 0:
+                _fail(
+                    name,
+                    f"{snapshot.in_use} pooled connection(s) never "
+                    f"checked back in",
+                )
+
+        # 5. Lock ordering: no acquisition cycle observed during the run.
+        if lock_monitor is not None:
+            inversions = lock_monitor.inversions()
+            if inversions:
+                _fail(
+                    name,
+                    f"lock-order inversions observed: {inversions}",
                 )
     finally:
         closer = getattr(backend, "close", None)

@@ -100,8 +100,8 @@ class ConnectionPool(Generic[T]):
         self._available = threading.Condition(self._lock)
         # LIFO idle stack of (connection, parked_at) pairs; parked_at is a
         # monotonic perf_counter reading used only for recycling ages.
-        self._idle: list[tuple[T, float]] = []
-        self._in_use: dict[int, T] = {}
+        self._idle: list[tuple[T, float]] = []  # guarded-by: _lock
+        self._in_use: dict[int, T] = {}  # guarded-by: _lock
         self._closed = False
         #: Connections alive right now (idle + in use + factory in flight);
         #: this is the number the ``max_size`` cap bounds.
@@ -142,7 +142,7 @@ class ConnectionPool(Generic[T]):
                         self._dispose(connection)
                         continue
                     self._reused += 1
-                    return self._track_checkout(connection)
+                    return self._track_checkout_locked(connection)
                 if self._live < self.max_size:
                     self._live += 1
                     self._created += 1
@@ -170,9 +170,9 @@ class ConnectionPool(Generic[T]):
                 self._available.notify()
             raise
         with self._available:
-            return self._track_checkout(connection)
+            return self._track_checkout_locked(connection)
 
-    def _track_checkout(self, connection: T) -> T:
+    def _track_checkout_locked(self, connection: T) -> T:
         self._in_use[id(connection)] = connection
         self._max_in_use = max(self._max_in_use, len(self._in_use))
         return connection
@@ -222,7 +222,8 @@ class ConnectionPool(Generic[T]):
     # ---------------------------------------------------------------- stats
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def stats(self) -> PoolStats:
         with self._lock:

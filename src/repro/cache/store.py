@@ -98,6 +98,7 @@ class ProbeCache:
         self.writes = 0
         self.stale_evicted = 0
         try:
+            # guarded-by: _lock  (every post-init use is under the lock)
             self._connection = sqlite3.connect(
                 str(self.path), check_same_thread=False
             )
@@ -135,7 +136,7 @@ class ProbeCache:
         """Cached aliveness of ``query`` under this fingerprint, or None."""
         key = self.key_of(query)
         with self._lock:
-            self._ensure_open()
+            self._ensure_open_locked()
             row = self._connection.execute(
                 "SELECT alive FROM probes WHERE fingerprint = ? AND query_key = ?",
                 (self.fingerprint, key),
@@ -150,7 +151,7 @@ class ProbeCache:
         """Record one probe result (idempotent; last write wins)."""
         key = self.key_of(query)
         with self._lock:
-            self._ensure_open()
+            self._ensure_open_locked()
             self._connection.execute(
                 "INSERT OR REPLACE INTO probes (fingerprint, query_key, alive) "
                 "VALUES (?, ?, ?)",
@@ -160,42 +161,48 @@ class ProbeCache:
             self.writes += 1
 
     # ------------------------------------------------------- housekeeping
-    def _ensure_open(self) -> None:
+    def _ensure_open_locked(self) -> None:
         if self._closed:
             raise ProbeCacheError("probe cache is closed")
+
+    def _count_locked(self) -> int:
+        self._ensure_open_locked()
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM probes WHERE fingerprint = ?",
+            (self.fingerprint,),
+        ).fetchone()
+        return int(row[0])
 
     def __len__(self) -> int:
         """Entries stored under this cache's fingerprint."""
         with self._lock:
-            self._ensure_open()
-            row = self._connection.execute(
-                "SELECT COUNT(*) FROM probes WHERE fingerprint = ?",
-                (self.fingerprint,),
-            ).fetchone()
-            return int(row[0])
+            return self._count_locked()
 
     def clear(self) -> int:
         """Drop every entry (all fingerprints); returns rows removed."""
         with self._lock:
-            self._ensure_open()
+            self._ensure_open_locked()
             cursor = self._connection.execute("DELETE FROM probes")
             self._connection.commit()
             return cursor.rowcount if cursor.rowcount > 0 else 0
 
     def stats(self) -> ProbeCacheStats:
-        return ProbeCacheStats(
-            path=str(self.path),
-            fingerprint=self.fingerprint,
-            entries=len(self),
-            stale_evicted=self.stale_evicted,
-            hits=self.hits,
-            misses=self.misses,
-            writes=self.writes,
-        )
+        # One lock acquisition for the whole snapshot: the session
+        # counters and the entry count must be read consistently.
+        with self._lock:
+            return ProbeCacheStats(
+                path=str(self.path),
+                fingerprint=self.fingerprint,
+                entries=self._count_locked(),
+                stale_evicted=self.stale_evicted,
+                hits=self.hits,
+                misses=self.misses,
+                writes=self.writes,
+            )
 
     def flush(self) -> None:
         with self._lock:
-            self._ensure_open()
+            self._ensure_open_locked()
             self._connection.commit()
 
     def close(self) -> None:

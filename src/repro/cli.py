@@ -171,7 +171,44 @@ def _render_aggregates(tracer: ProbeTracer) -> str:
     return "\n\n".join(blocks)
 
 
+def _cmd_trace_check(args: argparse.Namespace) -> int:
+    """``repro trace check FILE``: schema + runtime-invariant validation."""
+    from repro.obs import check_trace_file
+    from repro.obs.trace import TraceValidationError, validate_trace_file
+
+    if not args.path:
+        print("trace check: missing trace file argument", file=sys.stderr)
+        return 2
+    max_queries = args.budget_queries if args.budget_queries > 0 else None
+    try:
+        counts = validate_trace_file(args.path)
+        violations = check_trace_file(args.path, max_queries=max_queries)
+    except TraceValidationError as error:
+        print(f"trace check: schema error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"trace check: cannot read {args.path}: {error}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.render())
+    print(
+        f"trace check: {counts['span']} spans, {counts['event']} events, "
+        f"{len(violations)} invariant violation(s)",
+        file=sys.stderr,
+    )
+    return 0 if not violations else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.query == "check":
+        return _cmd_trace_check(args)
+    if args.path:
+        print(
+            "trace: unexpected extra argument (did you mean 'trace check "
+            "FILE'?)",
+            file=sys.stderr,
+        )
+        return 2
     database = _load_database(args)
     tracer = ProbeTracer()
     budget = _make_budget(args)
@@ -216,8 +253,9 @@ def _write_bench_json(args: argparse.Namespace, payload: dict) -> None:
         return
     import json
 
-    with open(args.json, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+    from repro.ioutil import atomic_write_text
+
+    atomic_write_text(args.json, json.dumps(payload, indent=2) + "\n")
     print(f"(wrote results to {args.json})")
 
 
@@ -278,16 +316,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import LintOptions, run_lint
+    """Exit contract: 0 = clean, 1 = diagnostics found, 2 = internal error."""
+    from repro.analysis import LintOptions, normalize_select, run_lint
 
-    report = run_lint(
-        LintOptions(
-            dataset=args.dataset,
-            level=args.level,
-            check_plan=not args.no_plan,
-            check_repo=not args.no_repo,
+    try:
+        select = normalize_select(args.select)
+        report = run_lint(
+            LintOptions(
+                dataset=args.dataset,
+                level=args.level,
+                check_plan=not args.no_plan,
+                check_repo=not args.no_repo,
+                src_root=args.src_root,
+                select=select,
+            )
         )
-    )
+    except Exception as error:  # noqa: BLE001 - the exit-code contract
+        print(f"lint: internal error: {error}", file=sys.stderr)
+        return 2
     if args.json:
         print(report.to_json())
     else:
@@ -401,7 +447,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--summary tables go to stderr so stdout stays machine-readable."
         ),
     )
-    trace.add_argument("query", help="keyword query to trace")
+    trace.add_argument(
+        "query",
+        help="keyword query to trace (or 'check' to validate a trace file)",
+    )
+    trace.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="with 'check': JSON-lines trace file to validate against the "
+        "schema and runtime invariants (--budget-queries sets the "
+        "expected per-traversal cap)",
+    )
     _add_dataset_options(trace)
     trace.add_argument(
         "--strategy",
@@ -500,9 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
             "valid keyword slots (PLAN001-PLAN007), every rendered SQL "
             "template must pass a sqlite prepare-only dry run with "
             "identifiers correctly quoted (SQL001-SQL002), and the source "
-            "tree must respect the determinism/typing rules benchmarks rely "
-            "on (LINT001-LINT003).  Exits nonzero if anything error-severity "
-            "is found."
+            "tree must respect the determinism/typing rules (LINT001-LINT004), "
+            "the lock discipline of the thread-shared probe-path classes "
+            "(CONC001-CONC004), and the owned lifecycles of pooled/sqlite/"
+            "file resources (RES001-RES003).  Exit codes: 0 = clean, 1 = "
+            "diagnostics found, 2 = internal error."
         ),
     )
     lint.add_argument(
@@ -526,6 +585,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-repo",
         action="store_true",
         help="skip the repo AST layer",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="FAMILIES",
+        default=None,
+        help="comma-separated code families to run (PLAN,SQL,LINT,CONC,RES; "
+        "default: all)",
+    )
+    lint.add_argument(
+        "--src-root",
+        metavar="DIR",
+        default=None,
+        help="source tree for the per-file passes (default: this install)",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -364,7 +364,24 @@ class NonAnswerDebugger:
 
     # ------------------------------------------------------------ utilities
     def close(self) -> None:
-        """Release backend resources (connection pool, probe cache)."""
+        """Release backend resources (connection pool, probe cache).
+
+        When a tracer is attached and the backend pools connections, a
+        final ``pool_stats`` event is stamped into the trace first --
+        ``repro trace check`` verifies from it that every pooled
+        connection was checked back in (in_use == 0) and the peak stayed
+        within the cap.
+        """
+        if self.tracer is not None:
+            pool_stats = getattr(self.backend, "pool_stats", None)
+            if callable(pool_stats):
+                stats = pool_stats()
+                self.tracer.record_event(
+                    "pool_stats",
+                    in_use=stats.in_use,
+                    max_in_use=stats.max_in_use,
+                    max_size=getattr(self.backend, "pool_size", stats.max_in_use),
+                )
         closer = getattr(self.backend, "close", None)
         if closer is not None:
             closer()

@@ -19,12 +19,11 @@ truncated JSON file.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any
 
 from repro.core.debugger import DebugReport
+from repro.ioutil import atomic_write_text as _atomic_write_text
 from repro.core.lattice import Lattice, LatticeStats
 from repro.relational.jointree import (
     BoundQuery,
@@ -40,35 +39,6 @@ FORMAT_VERSION = 1
 
 class PersistenceError(ValueError):
     """Raised on malformed or mismatched artifact files."""
-
-
-def _atomic_write_text(path: str | Path, content: str) -> None:
-    """Write ``content`` to ``path`` via a same-directory temp + rename.
-
-    ``os.replace`` is atomic on POSIX and Windows when source and target
-    share a filesystem, which the same-directory temp file guarantees.
-    """
-    target = Path(path)
-    handle = tempfile.NamedTemporaryFile(
-        mode="w",
-        encoding="utf-8",
-        dir=target.parent if str(target.parent) else ".",
-        prefix=f".{target.name}.",
-        suffix=".tmp",
-        delete=False,
-    )
-    try:
-        with handle:
-            handle.write(content)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(handle.name, target)
-    except BaseException:
-        try:
-            os.unlink(handle.name)
-        except OSError:
-            pass
-        raise
 
 
 # ----------------------------------------------------------- tree encoding

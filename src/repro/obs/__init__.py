@@ -17,9 +17,19 @@ visible to every traversal strategy, interactive session, and benchmark:
   carrying lattice level, keywords, backend, wall + simulated cost,
   cache hit/miss, and remaining budget; traces export as JSON-lines
   (``repro trace``) and aggregate per level / per strategy.
+
+Exported traces can additionally be checked against *runtime*
+invariants -- budget caps, free cache hits, per-segment accounting, pool
+release -- via :mod:`repro.obs.invariants` (``repro trace check``).
 """
 
 from repro.obs.budget import ProbeBudget, ProbeBudgetExhausted
+from repro.obs.invariants import (
+    InvariantViolation,
+    check_trace_file,
+    check_trace_lines,
+    check_trace_records,
+)
 from repro.obs.trace import (
     ProbeSpan,
     ProbeTracer,
@@ -30,12 +40,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "InvariantViolation",
     "ProbeBudget",
     "ProbeBudgetExhausted",
     "ProbeSpan",
     "ProbeTracer",
     "TraceEvent",
     "TraceValidationError",
+    "check_trace_file",
+    "check_trace_lines",
+    "check_trace_records",
     "validate_trace_file",
     "validate_trace_record",
 ]

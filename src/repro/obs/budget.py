@@ -115,7 +115,8 @@ class ProbeBudget:
     @property
     def bound(self) -> bool:
         """True once a probe has actually been refused."""
-        return self.denied > 0
+        with self._lock:
+            return self.denied > 0
 
     def remaining_queries(self) -> int | None:
         """Probes left before the query cap bites (``None`` = unlimited).
@@ -127,7 +128,7 @@ class ProbeBudget:
         with self._lock:
             return max(0, self.max_queries - self.queries_used - self.in_flight)
 
-    def describe(self) -> str:
+    def _describe_locked(self) -> str:
         parts = []
         if self.max_queries is not None:
             parts.append(f"{self.queries_used}/{self.max_queries} queries")
@@ -143,6 +144,10 @@ class ProbeBudget:
             parts.append(f"{self.in_flight} in flight")
         return ", ".join(parts) if parts else "unlimited"
 
+    def describe(self) -> str:
+        with self._lock:
+            return self._describe_locked()
+
     # -------------------------------------------------------------- updates
     def admit(self) -> None:
         """Refuse (raise) if the next backend execution would bust a limit.
@@ -150,12 +155,20 @@ class ProbeBudget:
         On success one query-axis slot is reserved; the caller must follow
         up with exactly one :meth:`charge` (after executing) or
         :meth:`cancel` (if execution never happened).
+
+        The refusal decision (and the ``denied`` bump) happens atomically
+        under the lock; the exception is raised after release because its
+        constructor re-reads the budget through :meth:`describe`.
         """
         with self._lock:
             if self._exhausted_locked():
                 self.denied += 1
-                raise ProbeBudgetExhausted(self)
-            self.in_flight += 1
+                refused = True
+            else:
+                self.in_flight += 1
+                refused = False
+        if refused:
+            raise ProbeBudgetExhausted(self)
 
     def charge(
         self,

@@ -141,7 +141,7 @@ class ProbeTracer:
         self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self._seq = 0
         self.dropped = 0
-        self._context: dict[str, Any] = {}
+        self._context: dict[str, Any] = {}  # guarded-by: _lock
         # Sequence assignment + append must be atomic: spans may be
         # recorded from worker threads (see repro.parallel).
         self._lock = threading.Lock()
@@ -149,15 +149,17 @@ class ProbeTracer:
     # ------------------------------------------------------------- context
     def set_context(self, **attrs: Any) -> None:
         """Set (value) or clear (``None``) attributes stamped on new spans."""
-        for key, value in attrs.items():
-            if value is None:
-                self._context.pop(key, None)
-            else:
-                self._context[key] = value
+        with self._lock:
+            for key, value in attrs.items():
+                if value is None:
+                    self._context.pop(key, None)
+                else:
+                    self._context[key] = value
 
     @property
     def context(self) -> dict[str, Any]:
-        return dict(self._context)
+        with self._lock:
+            return dict(self._context)
 
     # ----------------------------------------------------------- recording
     def _next_seq_locked(self) -> int:
@@ -249,13 +251,17 @@ class ProbeTracer:
         return "\n".join(self.iter_jsonl())
 
     def write_jsonl(self, path: str) -> int:
-        """Write all records to ``path``; returns the number written."""
-        count = 0
-        with open(path, "w", encoding="utf-8") as handle:
-            for line in self.iter_jsonl():
-                handle.write(line + "\n")
-                count += 1
-        return count
+        """Write all records to ``path`` atomically; returns the count.
+
+        The write goes through :func:`repro.ioutil.atomic_write_text` so a
+        crash mid-export never leaves a half-written trace for ``repro
+        trace check`` to stumble over.
+        """
+        from repro.ioutil import atomic_write_text
+
+        lines = list(self.iter_jsonl())
+        atomic_write_text(path, "".join(line + "\n" for line in lines))
+        return len(lines)
 
     # --------------------------------------------------------- aggregation
     def aggregate(self, key: str = "level") -> list[dict[str, Any]]:

@@ -223,7 +223,7 @@ class InstrumentedEvaluator:
         self.cache_capacity = cache_capacity
         self.probe_cache = probe_cache
         self.stats = EvaluationStats()
-        self._cache: OrderedDict[BoundQuery, bool] = OrderedDict()
+        self._cache: OrderedDict[BoundQuery, bool] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _trace(

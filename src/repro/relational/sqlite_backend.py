@@ -100,14 +100,16 @@ class SqliteEngine:
         return self._pool.stats()
 
     def _load(self, connection: sqlite3.Connection) -> None:
-        cursor = connection.cursor()
+        # Statements go through the connection's own execute/executemany
+        # (each creates and drops its cursor) so no bare cursor can outlive
+        # a failed load (resource lint RES002).
         for statement in render_ddl(self.schema):
-            cursor.execute(statement)
+            connection.execute(statement)
         for table in self.database.iter_tables():
             if not len(table):
                 continue
             placeholders = ", ".join("?" for _ in table.relation.attributes)
-            cursor.executemany(
+            connection.executemany(
                 f"INSERT INTO {quote_identifier(table.relation.name)} "
                 f"VALUES ({placeholders})",
                 list(table),

@@ -1,0 +1,180 @@
+"""Resource-leak linter: one firing and one clean fixture per rule."""
+
+import textwrap
+
+from repro.analysis.resources import lint_resources_source
+
+
+def codes(source, relative="repro/backends/example.py"):
+    return [d.code for d in lint_resources_source(textwrap.dedent(source), relative)]
+
+
+class TestPoolCheckoutLeak:
+    def test_unpaired_checkout_flagged(self):
+        source = """
+        def leak(pool):
+            conn = pool.checkout()
+            conn.run()
+        """
+        assert codes(source) == ["RES001"]
+
+    def test_checkout_with_finally_checkin_clean(self):
+        source = """
+        def borrow(pool):
+            conn = pool.checkout()
+            try:
+                return conn.run()
+            finally:
+                pool.checkin(conn)
+        """
+        assert codes(source) == []
+
+    def test_checkout_with_finally_release_clean(self):
+        source = """
+        def borrow(pool):
+            conn = pool.checkout()
+            try:
+                return conn.run()
+            finally:
+                pool.release(conn)
+        """
+        assert codes(source) == []
+
+
+class TestSqliteHandleLeak:
+    def test_local_connect_without_close_flagged(self):
+        source = """
+        import sqlite3
+
+        def query(path):
+            conn = sqlite3.connect(path)
+            return conn.execute("select 1").fetchone()
+        """
+        assert codes(source) == ["RES002"]
+
+    def test_connect_closed_in_finally_clean(self):
+        source = """
+        import sqlite3
+
+        def query(path):
+            conn = sqlite3.connect(path)
+            try:
+                return conn.execute("select 1").fetchone()
+            finally:
+                conn.close()
+        """
+        assert codes(source) == []
+
+    def test_connect_stored_on_class_with_close_clean(self):
+        source = """
+        import sqlite3
+
+        class Store:
+            def __init__(self, path):
+                self._conn = sqlite3.connect(path)
+
+            def close(self) -> None:
+                self._conn.close()
+        """
+        assert codes(source) == []
+
+    def test_connect_stored_on_class_without_close_flagged(self):
+        source = """
+        import sqlite3
+
+        class Store:
+            def __init__(self, path):
+                self._conn = sqlite3.connect(path)
+        """
+        assert codes(source) == ["RES002"]
+
+    def test_factory_return_clean(self):
+        source = """
+        import sqlite3
+
+        def make_connection(path):
+            conn = sqlite3.connect(path)
+            conn.execute("pragma journal_mode=wal")
+            return conn
+        """
+        assert codes(source) == []
+
+    def test_context_manager_clean(self):
+        source = """
+        import sqlite3
+
+        def query(path):
+            with sqlite3.connect(path) as conn:
+                return conn.execute("select 1").fetchone()
+        """
+        assert codes(source) == []
+
+    def test_bare_cursor_without_lifecycle_flagged(self):
+        source = """
+        def rows(conn):
+            cur = conn.cursor()
+            cur.execute("select 1")
+            return cur.fetchall()
+        """
+        assert codes(source) == ["RES002"]
+
+    def test_cursor_closed_in_finally_clean(self):
+        source = """
+        def rows(conn):
+            cur = conn.cursor()
+            try:
+                cur.execute("select 1")
+                return cur.fetchall()
+            finally:
+                cur.close()
+        """
+        assert codes(source) == []
+
+
+class TestNonAtomicArtifactWrite:
+    def test_write_mode_open_flagged(self):
+        source = """
+        def save(path, payload):
+            with open(path, "w") as handle:
+                handle.write(payload)
+        """
+        assert codes(source) == ["RES003"]
+
+    def test_keyword_mode_flagged(self):
+        source = """
+        def save(path, payload):
+            handle = open(path, mode="wb")
+        """
+        assert codes(source) == ["RES003"]
+
+    def test_read_mode_clean(self):
+        source = """
+        def load(path):
+            with open(path) as handle:
+                return handle.read()
+        """
+        assert codes(source) == []
+
+    def test_write_text_flagged(self):
+        source = """
+        def save(path, payload):
+            path.write_text(payload)
+        """
+        assert codes(source) == ["RES003"]
+
+    def test_ioutil_module_exempt(self):
+        source = """
+        def atomic_write_text(path, content):
+            with open(path, "w") as handle:
+                handle.write(content)
+        """
+        assert codes(source, relative="repro/ioutil.py") == []
+
+    def test_dynamic_mode_not_flagged(self):
+        # A non-constant mode cannot be judged statically; stay silent
+        # rather than guess.
+        source = """
+        def touch(path, mode):
+            handle = open(path, mode)
+        """
+        assert codes(source) == []

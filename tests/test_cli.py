@@ -217,3 +217,133 @@ class TestLintCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False
         assert "PLAN007" in {d["code"] for d in payload["diagnostics"]}
+
+
+class TestLintContract:
+    """Exit codes: 0 = clean, 1 = diagnostics, 2 = internal error."""
+
+    def test_family_selection_runs_clean(self, capsys):
+        assert main(["lint", "--no-plan", "--select", "CONC,RES"]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_unknown_family_is_internal_error(self, capsys):
+        assert main(["lint", "--select", "BOGUS"]) == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_crashing_pass_is_internal_error(self, capsys, monkeypatch):
+        import repro.analysis.runner as runner
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(runner, "lint_files", explode)
+        assert main(["lint", "--no-plan"]) == 2
+        assert "boom" in capsys.readouterr().err
+
+    def test_findings_exit_one_with_valid_json(self, capsys, tmp_path):
+        import json
+
+        from repro.analysis import validate_lint_report
+
+        bad = tmp_path / "repro" / "backends"
+        bad.mkdir(parents=True)
+        (bad / "leaky.py").write_text(
+            "import threading\n\n"
+            "def hold(lock: threading.Lock) -> None:\n"
+            "    lock.acquire()\n"
+            "    print(1)\n",
+            encoding="utf-8",
+        )
+        assert (
+            main(
+                [
+                    "lint", "--json", "--no-plan",
+                    "--src-root", str(tmp_path),
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        counts = validate_lint_report(payload)
+        assert counts["errors"] == 1
+        assert payload["diagnostics"][0]["code"] == "CONC002"
+
+    def test_clean_json_passes_schema(self, capsys):
+        import json
+
+        from repro.analysis import LINT_REPORT_VERSION, validate_lint_report
+
+        assert main(["lint", "--json", "--no-plan"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == LINT_REPORT_VERSION
+        assert validate_lint_report(payload) == {"errors": 0, "warnings": 0}
+
+
+class TestTraceCheck:
+    """`repro trace check FILE` validates schema + runtime invariants."""
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "saffron scented candle",
+                    "--strategy", "buwr",
+                    "--budget-queries", "50",
+                    "--output", str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return path
+
+    def test_fresh_trace_is_clean(self, trace_file, capsys):
+        assert (
+            main(
+                [
+                    "trace", "check", str(trace_file),
+                    "--budget-queries", "50",
+                ]
+            )
+            == 0
+        )
+        assert "0 invariant violation(s)" in capsys.readouterr().err
+
+    def test_violated_trace_exits_one(self, trace_file, capsys):
+        import json
+
+        records = [
+            json.loads(line)
+            for line in trace_file.read_text().splitlines()
+            if line.strip()
+        ]
+        spans = [r for r in records if r["kind"] == "span"]
+        assert len(spans) >= 2
+        spans[-1]["budget_remaining"] = spans[0]["budget_remaining"] + 5
+        trace_file.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+        assert main(["trace", "check", str(trace_file)]) == 1
+        captured = capsys.readouterr()
+        assert "budget-monotone" in captured.out
+        assert "1 invariant violation(s)" in captured.err
+
+    def test_schema_error_exits_one(self, tmp_path, capsys):
+        mangled = tmp_path / "bad.jsonl"
+        mangled.write_text('{"kind": "span", "seq": 0}\n', encoding="utf-8")
+        assert main(["trace", "check", str(mangled)]) == 1
+        assert "schema error" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["trace", "check", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_check_without_path_exits_two(self, capsys):
+        assert main(["trace", "check"]) == 2
+        assert "missing trace file" in capsys.readouterr().err
+
+    def test_path_with_non_check_query_exits_two(self, trace_file, capsys):
+        assert main(["trace", "red candle", str(trace_file)]) == 2
+        capsys.readouterr()

@@ -1,0 +1,62 @@
+"""The diagnostics-reference generator and its CI sync check."""
+
+from pathlib import Path
+
+from repro.analysis.diagnostics import CODE_FAMILIES, CODE_REGISTRY
+from repro.analysis.docgen import (
+    FAMILY_DESCRIPTIONS,
+    default_doc_path,
+    main,
+    render_diagnostics_doc,
+)
+
+DOC_PATH = Path(__file__).resolve().parent.parent / "docs" / "DIAGNOSTICS.md"
+
+
+class TestRendering:
+    def test_every_code_and_slug_rendered(self):
+        rendered = render_diagnostics_doc()
+        for code, info in CODE_REGISTRY.items():
+            assert f"### {code}: {info.slug}" in rendered
+            assert info.remediation in rendered
+
+    def test_every_family_has_a_section(self):
+        assert set(FAMILY_DESCRIPTIONS) == set(CODE_FAMILIES)
+        rendered = render_diagnostics_doc()
+        for family in CODE_FAMILIES:
+            title, _ = FAMILY_DESCRIPTIONS[family]
+            assert f"## {family} — {title}" in rendered
+
+    def test_default_path_points_at_repo_docs(self):
+        assert default_doc_path() == DOC_PATH
+
+
+class TestSync:
+    def test_committed_doc_matches_registry(self):
+        assert DOC_PATH.read_text(encoding="utf-8") == render_diagnostics_doc()
+
+    def test_check_mode_passes_on_committed_doc(self, capsys):
+        assert main(["--check"]) == 0
+        assert "in sync" in capsys.readouterr().out
+
+    def test_check_mode_fails_on_stale_doc(self, tmp_path, capsys):
+        stale = tmp_path / "DIAGNOSTICS.md"
+        stale.write_text("# outdated\n", encoding="utf-8")
+        assert main(["--check", "--path", str(stale)]) == 1
+        assert "out of date" in capsys.readouterr().err
+
+    def test_check_mode_fails_on_missing_doc(self, tmp_path, capsys):
+        missing = tmp_path / "absent.md"
+        assert main(["--check", "--path", str(missing)]) == 1
+        capsys.readouterr()
+
+    def test_write_then_check_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "DIAGNOSTICS.md"
+        assert main(["--write", "--path", str(target)]) == 0
+        assert main(["--check", "--path", str(target)]) == 0
+        assert target.read_text(encoding="utf-8") == render_diagnostics_doc()
+        capsys.readouterr()
+
+    def test_bare_invocation_prints_doc(self, capsys):
+        assert main([]) == 0
+        assert "# Diagnostic codes" in capsys.readouterr().out

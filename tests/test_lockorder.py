@@ -1,0 +1,189 @@
+"""Dynamic lock-order detector: proxy units, cycles, and real components."""
+
+import threading
+
+import pytest
+
+from repro.analysis.lockorder import LockOrderMonitor, _ConditionProxy, _LockProxy
+from repro.backends.conformance import check_backend
+from repro.cache import ProbeCache
+from repro.parallel import ParallelProbeExecutor
+from repro.relational.evaluator import InstrumentedEvaluator
+from repro.relational.sqlite_backend import SqliteEngine
+
+
+@pytest.fixture(scope="module")
+def probes(products_debugger):
+    mapping = products_debugger.map_keywords("saffron scented candle")
+    graph = products_debugger.build_graph(products_debugger.prune(mapping))
+    return [graph.node(index).query for index in range(len(graph))]
+
+
+class TestProxies:
+    def test_acquire_release_records_acquisitions(self):
+        monitor = LockOrderMonitor()
+        proxy = monitor.wrap_lock(threading.Lock(), "A")
+        with proxy:
+            assert list(monitor.held_now()) == ["A"]
+            assert proxy.locked()
+        assert list(monitor.held_now()) == []
+        assert monitor.acquisitions() == {"A": 1}
+        assert monitor.edges() == {}
+
+    def test_nested_acquisition_records_edge(self):
+        monitor = LockOrderMonitor()
+        outer = monitor.wrap_lock(threading.Lock(), "A")
+        inner = monitor.wrap_lock(threading.Lock(), "B")
+        with outer:
+            with inner:
+                pass
+        assert monitor.edges() == {("A", "B"): 1}
+        assert monitor.inversions() == []
+
+    def test_reacquiring_same_label_is_not_an_edge(self):
+        monitor = LockOrderMonitor()
+        lock = threading.RLock()
+        proxy = monitor.wrap_lock(lock, "A")
+        with proxy:
+            with proxy:
+                pass
+        assert monitor.edges() == {}
+
+    def test_condition_wait_drops_label_while_blocked(self):
+        monitor = LockOrderMonitor()
+        proxy = monitor.wrap_condition(threading.Condition(), "C")
+        during_wait = []
+        with proxy:
+            proxy.wait_for(
+                lambda: during_wait.append(list(monitor.held_now())) or True
+            )
+            assert list(monitor.held_now()) == ["C"]
+        # The predicate ran while the label was popped: a thread blocked
+        # in wait() holds nothing as far as ordering is concerned.
+        assert during_wait[0] == []
+        assert monitor.inversions() == []
+
+    def test_timed_wait_repushes_label(self):
+        monitor = LockOrderMonitor()
+        proxy = monitor.wrap_condition(threading.Condition(), "C")
+        with proxy:
+            assert proxy.wait(timeout=0.01) is False
+            assert list(monitor.held_now()) == ["C"]
+        assert list(monitor.held_now()) == []
+
+    def test_instrument_sniffs_condition_and_refuses_double_wrap(self):
+        monitor = LockOrderMonitor()
+
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition(self._lock)
+
+        holder = Holder()
+        lock_proxy = monitor.instrument(holder, "_lock")
+        cond_proxy = monitor.instrument(holder, "_cond", label="holder.cond")
+        assert type(lock_proxy) is _LockProxy
+        assert isinstance(cond_proxy, _ConditionProxy)
+        assert cond_proxy.label == "holder.cond"
+        with pytest.raises(ValueError, match="already instrumented"):
+            monitor.instrument(holder, "_lock")
+
+
+class TestCycleDetection:
+    def seeded(self):
+        monitor = LockOrderMonitor()
+        a = monitor.wrap_lock(threading.Lock(), "A")
+        b = monitor.wrap_lock(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        return monitor
+
+    def test_both_orders_is_an_inversion(self):
+        monitor = self.seeded()
+        assert monitor.inversions() == [("A", "B")]
+        assert monitor.cycles() == [["A", "B"]]
+
+    def test_report_carries_conc005(self):
+        report = self.seeded().report()
+        assert not report.ok
+        assert {d.code for d in report} == {"CONC005"}
+        assert "A -> B -> A" in report.render()
+
+    def test_assert_clean_raises_on_cycle(self):
+        with pytest.raises(AssertionError, match="CONC005"):
+            self.seeded().assert_clean()
+
+    def test_three_way_cycle_found_once(self):
+        monitor = LockOrderMonitor()
+        locks = {name: monitor.wrap_lock(threading.Lock(), name) for name in "ABC"}
+        for outer, inner in (("A", "B"), ("B", "C"), ("C", "A")):
+            with locks[outer]:
+                with locks[inner]:
+                    pass
+        assert monitor.inversions() == []  # no 2-cycle ...
+        assert monitor.cycles() == [["A", "B", "C"]]  # ... but a 3-cycle
+
+    def test_cross_thread_orders_merge_into_one_graph(self):
+        monitor = LockOrderMonitor()
+        a = monitor.wrap_lock(threading.Lock(), "A")
+        b = monitor.wrap_lock(threading.Lock(), "B")
+
+        def first():
+            with a:
+                with b:
+                    pass
+
+        def second():
+            with b:
+                with a:
+                    pass
+
+        for target in (first, second):
+            thread = threading.Thread(target=target)
+            thread.start()
+            thread.join()
+        assert monitor.inversions() == [("A", "B")]
+
+
+class TestRealComponents:
+    def test_sqlite_conformance_under_monitor(self, products_db, probes):
+        monitor = LockOrderMonitor()
+        checks = check_backend(
+            "sqlite", products_db, probes[:12], lock_monitor=monitor
+        )
+        assert checks["probes"] == 12
+        assert checks["concurrent"] > 0
+        # The pool condition was actually exercised by the storm ...
+        assert monitor.acquisitions().get("backend.pool", 0) > 0
+        # ... and no ordering cycle was observed anywhere in the run.
+        monitor.assert_clean()
+
+    def test_parallel_probe_path_is_order_clean(
+        self, products_db, probes, tmp_path
+    ):
+        monitor = LockOrderMonitor()
+        cache = ProbeCache(
+            tmp_path / "probes.sqlite",
+            products_db.schema,
+            products_db.fingerprint(),
+        )
+        with SqliteEngine(products_db, pool_size=3) as engine:
+            monitor.instrument(engine._pool, "_available", "pool.available")
+            monitor.instrument(engine._pool, "_lock", "pool.lock")
+            evaluator = InstrumentedEvaluator(engine, probe_cache=cache)
+            monitor.instrument(evaluator, "_lock", "evaluator.l1")
+            monitor.instrument(cache, "_lock", "cache.l2")
+            with ParallelProbeExecutor(workers=6) as executor:
+                batch = evaluator.probe_many(probes * 3, executor=executor)
+        cache.close()
+        assert len(batch.results) == len(probes) * 3
+        # Every monitored lock participated, and the combined evaluator /
+        # L2-cache / pool path never nested two of them in both orders.
+        held = monitor.acquisitions()
+        assert held.get("evaluator.l1", 0) > 0
+        assert held.get("pool.available", 0) > 0
+        monitor.assert_clean()

@@ -1,0 +1,93 @@
+"""Inline suppressions, family selection, and the repo-wide clean check."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_files, normalize_select
+from repro.analysis.concurrency import lint_concurrency_source
+from repro.analysis.diagnostics import CODE_FAMILIES, Severity, code_family
+from repro.analysis.suppressions import apply_suppressions, parse_suppressions
+
+
+def lint_with_suppressions(source, families=CODE_FAMILIES):
+    source = textwrap.dedent(source)
+    relative = "repro/backends/example.py"
+    found = lint_concurrency_source(source, relative)
+    return apply_suppressions(found, source, relative, families)
+
+
+class TestParsing:
+    def test_single_and_multi_code_comments(self):
+        source = (
+            "x = 1  # repro: noqa CONC001\n"
+            "y = 2\n"
+            "z = 3  # repro: noqa RES001, LINT002\n"
+        )
+        assert parse_suppressions(source) == {
+            1: {"CONC001"},
+            3: {"RES001", "LINT002"},
+        }
+
+    def test_plain_comments_ignored(self):
+        assert parse_suppressions("x = 1  # a normal comment\n") == {}
+
+
+class TestApplication:
+    FIXTURE = """
+    def hold(lock) -> None:
+        lock.acquire(){suffix}
+        print("held")
+    """
+
+    def test_matching_suppression_silences_finding(self):
+        report = lint_with_suppressions(
+            self.FIXTURE.format(suffix="  # repro: noqa CONC002")
+        )
+        assert report == []
+
+    def test_unsuppressed_finding_survives(self):
+        report = lint_with_suppressions(self.FIXTURE.format(suffix=""))
+        assert [d.code for d in report] == ["CONC002"]
+
+    def test_stale_suppression_becomes_lint004_warning(self):
+        report = lint_with_suppressions(
+            "x = 1  # repro: noqa CONC002\n"
+        )
+        assert [d.code for d in report] == ["LINT004"]
+        assert report[0].severity is Severity.WARNING
+        assert "CONC002" in report[0].message
+
+    def test_stale_suppression_ignored_when_family_not_selected(self):
+        # A CONC002 suppression cannot be called unused during a run
+        # where the concurrency pass never executed.
+        report = lint_with_suppressions(
+            "x = 1  # repro: noqa CONC002\n", families=("RES",)
+        )
+        assert report == []
+
+
+class TestSelect:
+    def test_none_selects_every_family(self):
+        assert normalize_select(None) == CODE_FAMILIES
+
+    def test_string_is_split_and_uppercased(self):
+        assert normalize_select("conc, res") == ("CONC", "RES")
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="BOGUS"):
+            normalize_select("CONC,BOGUS")
+
+
+def test_source_tree_is_conc_res_clean():
+    """Acceptance: zero CONC/RES findings (and no stale suppressions)."""
+    report = lint_files(select=("LINT", "CONC", "RES"))
+    assert list(report) == [], report.render()
+
+
+def test_real_suppressions_are_all_used():
+    # The tree dogfoods the mechanism (the lock-order proxy's delegated
+    # acquire); a full-family run must not report any LINT004.
+    report = lint_files()
+    assert not any(d.code == "LINT004" for d in report), report.render()
+    assert all(code_family(d.code) in CODE_FAMILIES for d in report)

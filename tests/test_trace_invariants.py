@@ -1,0 +1,215 @@
+"""Runtime-invariant checking over traces (`repro trace check` core)."""
+
+import json
+
+import pytest
+
+from repro.obs import check_trace_lines, check_trace_records
+from repro.obs.invariants import InvariantViolation
+from repro.obs.trace import TraceValidationError
+
+
+def span(seq, *, hit=False, wall=0.0, sim=0.0, tier=None, remaining=None):
+    record = {
+        "kind": "span",
+        "seq": seq,
+        "level": 2,
+        "keywords": ["a", "b"],
+        "backend": "InMemoryEngine",
+        "alive": True,
+        "cache_hit": hit,
+        "wall_seconds": wall,
+        "simulated_seconds": sim,
+        "cache_tier": tier,
+    }
+    if remaining is not None:
+        record["budget_remaining"] = remaining
+    return record
+
+
+def start(seq, strategy="bu", nodes=10):
+    return {
+        "kind": "event",
+        "seq": seq,
+        "name": "traversal_start",
+        "strategy": strategy,
+        "nodes": nodes,
+    }
+
+
+def end(seq, *, executed, hits=0, exhausted=False):
+    return {
+        "kind": "event",
+        "seq": seq,
+        "name": "traversal_end",
+        "queries_executed": executed,
+        "cache_hits": hits,
+        "exhausted": exhausted,
+    }
+
+
+def names(records, **kwargs):
+    return [v.invariant for v in check_trace_records(records, **kwargs)]
+
+
+class TestSpanInvariants:
+    def test_clean_segment(self):
+        records = [
+            start(0),
+            span(1, tier="backend", remaining=5),
+            span(2, hit=True, tier="l1", remaining=4),
+            end(3, executed=1, hits=1),
+        ]
+        assert names(records) == []
+
+    def test_cache_hit_with_cost_flagged(self):
+        records = [span(0, hit=True, wall=0.5, tier="l1")]
+        assert names(records) == ["cache-hit-free"]
+
+    def test_cache_hit_with_backend_tier_flagged(self):
+        records = [span(0, hit=True, tier="backend")]
+        assert names(records) == ["tier-consistency"]
+
+    def test_executed_span_with_cache_tier_flagged(self):
+        records = [span(0, hit=False, tier="l2")]
+        assert names(records) == ["tier-consistency"]
+
+
+class TestSegmentInvariants:
+    def test_budget_rise_within_segment_flagged(self):
+        records = [
+            start(0),
+            span(1, tier="backend", remaining=5),
+            span(2, tier="backend", remaining=7),
+            end(3, executed=2),
+        ]
+        assert names(records) == ["budget-monotone"]
+
+    def test_budget_reset_between_segments_allowed(self):
+        records = [
+            start(0),
+            span(1, tier="backend", remaining=1),
+            end(2, executed=1),
+            start(3),
+            span(4, tier="backend", remaining=9),
+            end(5, executed=1),
+        ]
+        assert names(records) == []
+
+    def test_budget_cap_exceeded_flagged(self):
+        records = [
+            start(0),
+            span(1, tier="backend"),
+            span(2, tier="backend"),
+            end(3, executed=2),
+        ]
+        assert names(records, max_queries=1) == ["budget-cap"]
+        assert names(records, max_queries=2) == []
+
+    def test_exhausted_event_requires_exhausted_end(self):
+        records = [
+            start(0),
+            span(1, tier="backend"),
+            {"kind": "event", "seq": 2, "name": "budget_exhausted"},
+            end(3, executed=1, exhausted=False),
+        ]
+        assert names(records) == ["budget-cap"]
+
+    def test_reuse_strategy_bounded_by_nodes(self):
+        records = [
+            start(0, strategy="buwr", nodes=2),
+            span(1, tier="backend"),
+            span(2, tier="backend"),
+            span(3, tier="backend"),
+            end(4, executed=3),
+        ]
+        assert names(records) == ["reuse-bound"]
+
+    def test_non_reuse_strategy_may_re_execute(self):
+        records = [
+            start(0, strategy="bu", nodes=2),
+            span(1, tier="backend"),
+            span(2, tier="backend"),
+            span(3, tier="backend"),
+            end(4, executed=3),
+        ]
+        assert names(records) == []
+
+    def test_end_accounting_mismatch_flagged(self):
+        records = [
+            start(0),
+            span(1, tier="backend"),
+            span(2, hit=True, tier="l1"),
+            end(3, executed=2, hits=0),
+        ]
+        assert sorted(names(records)) == [
+            "segment-accounting",
+            "segment-accounting",
+        ]
+
+    def test_unterminated_segment_still_checked(self):
+        records = [
+            start(0),
+            span(1, tier="backend", remaining=3),
+            span(2, tier="backend", remaining=4),
+        ]
+        assert names(records) == ["budget-monotone"]
+
+
+class TestPoolInvariants:
+    def test_unreleased_connections_flagged(self):
+        records = [
+            {
+                "kind": "event",
+                "seq": 0,
+                "name": "pool_stats",
+                "in_use": 2,
+                "max_in_use": 3,
+                "max_size": 4,
+            }
+        ]
+        assert names(records) == ["pool-release"]
+
+    def test_peak_over_cap_flagged(self):
+        records = [
+            {
+                "kind": "event",
+                "seq": 0,
+                "name": "pool_stats",
+                "in_use": 0,
+                "max_in_use": 5,
+                "max_size": 4,
+            }
+        ]
+        assert names(records) == ["pool-release"]
+
+    def test_released_pool_clean(self):
+        records = [
+            {
+                "kind": "event",
+                "seq": 0,
+                "name": "pool_stats",
+                "in_use": 0,
+                "max_in_use": 4,
+                "max_size": 4,
+            }
+        ]
+        assert names(records) == []
+
+
+class TestLineInterface:
+    def test_lines_are_schema_validated_first(self):
+        bad = json.dumps({"kind": "span", "seq": 0})  # missing fields
+        with pytest.raises(TraceValidationError):
+            check_trace_lines([bad])
+
+    def test_lines_roundtrip(self):
+        lines = [
+            json.dumps(record)
+            for record in [start(0), span(1, tier="backend"), end(2, executed=1)]
+        ]
+        assert check_trace_lines(lines) == []
+
+    def test_violation_render_carries_seq(self):
+        violation = InvariantViolation("budget-cap", 7, "too many probes")
+        assert violation.render() == "budget-cap [seq 7]: too many probes"
