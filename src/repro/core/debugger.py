@@ -25,7 +25,12 @@ from repro.core.binding import KeywordBinder, PrunedLattice
 from repro.core.constraints import UNCONSTRAINED, SearchConstraints
 from repro.core.lattice import Lattice, generate_lattice
 from repro.core.mtn import ExplorationGraph, build_exploration_graph
-from repro.core.traversal import TraversalResult, TraversalStrategy, get_strategy
+from repro.core.traversal import (
+    SHARDABLE_STRATEGIES,
+    TraversalResult,
+    TraversalStrategy,
+    get_strategy,
+)
 from repro.index.inverted import InvertedIndex
 from repro.index.mapper import KeywordMapper, KeywordMapping
 from repro.obs.budget import ProbeBudget
@@ -165,6 +170,9 @@ class DebugReport:
                 f"  probe budget exhausted: partial result, "
                 f"{unclassified} candidate network(s) left possibly-alive"
             )
+        if self.traversal and self.traversal.shard_failures:
+            for failure in self.traversal.shard_failures:
+                lines.append(f"  shard failure: {failure.render()}")
         if self.traversal:
             lines.append(f"  SQL effort: {self.traversal.stats}")
         return "\n".join(lines)
@@ -244,6 +252,10 @@ class NonAnswerDebugger:
             "cost_model": cost_model,
         }
         options.update(backend_options or {})
+        # Kept so the sharded executor can rebuild an identical backend
+        # inside each forked worker process (connections never cross forks).
+        self.backend_name = backend
+        self.backend_factory_options = options
         self.backend: Any = create_backend(backend, database, **options)
         self.probe_cache: ProbeCache | None = None
         if cache_dir is not None:
@@ -304,6 +316,8 @@ class NonAnswerDebugger:
         budget: ProbeBudget | None = None,
         workers: int = 0,
         executor: "BatchExecutor | None" = None,
+        processes: int = 0,
+        shards: int | None = None,
     ) -> DebugReport:
         """Run phases 1-3 for ``query`` and explain its non-answers.
 
@@ -317,6 +331,19 @@ class NonAnswerDebugger:
         (identical classifications and probe counts, overlapped backend
         round-trips); passing an ``executor`` reuses a caller-owned pool
         instead and takes precedence.
+
+        ``processes > 1`` runs the traversal on a
+        :class:`~repro.parallel.ShardedLatticeExecutor` instead: the
+        exploration graph is split into per-MTN subtree shards
+        (``shards`` of them, default = ``processes``) swept in forked
+        worker processes -- the parallelism that escapes the GIL for
+        CPU-bound backends.  Classifications and MPANs stay byte-identical
+        to serial; executed-query counts can exceed a shared-cache serial
+        sweep's for the reuse strategies because shard caches are private.
+        Only the four shardable strategies use it (``sbh``'s greedy
+        frontier is global by design and falls back to the
+        coordinator-side path); a custom ``evaluator`` is not consulted
+        on this path (workers build their own).
         """
         chosen = self.strategy
         if strategy is not None:
@@ -341,6 +368,25 @@ class NonAnswerDebugger:
         started = time.perf_counter()
         report.graph = self.build_graph(report.pruned_lattices, constraints)
         timings.mtn_discovery = time.perf_counter() - started
+
+        if processes > 1 and chosen.name in SHARDABLE_STRATEGIES:
+            from repro.parallel import ShardedLatticeExecutor
+
+            sharded = ShardedLatticeExecutor(processes=processes, shards=shards)
+            started = time.perf_counter()
+            report.traversal = sharded.run(
+                report.graph,
+                self.database,
+                chosen.name,
+                backend=self.backend_name,
+                backend_options=self.backend_factory_options,
+                cost_model=self.cost_model,
+                budget=budget,
+                tracer=self.tracer,
+                coordinator_backend=self.backend,
+            )
+            timings.traversal = time.perf_counter() - started
+            return report
 
         if evaluator is None:
             evaluator = self.make_evaluator(use_cache=chosen.uses_reuse, budget=budget)

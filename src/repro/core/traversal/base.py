@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import abc
 import time
+import typing
 from dataclasses import dataclass, field
 
 from repro.core.mtn import ExplorationGraph
@@ -28,6 +29,9 @@ from repro.relational.evaluator import (
     InstrumentedEvaluator,
 )
 from repro.relational.jointree import BoundQuery
+
+if typing.TYPE_CHECKING:
+    from repro.core.traversal.sharding import ShardFailure
 
 
 @dataclass
@@ -54,6 +58,10 @@ class TraversalResult:
     # reuse strategies, one per MTN for BU/TD).  Diagnosis reads minimal
     # dead sub-queries out of these after the fact.
     stores: dict[int, StatusStore] = field(default_factory=dict)
+    # Shards that failed remotely during a sharded (multiprocessing) run,
+    # with whether their serial retry recovered them.  Empty for serial
+    # and thread-executor runs.
+    shard_failures: list[ShardFailure] = field(default_factory=list)
 
     @property
     def classified_mtn_count(self) -> int:

@@ -1,0 +1,177 @@
+"""Shard extraction for distributed lattice exploration.
+
+The exploration graph decomposes naturally along the query structure:
+every MTN owns a connected descendant subtree (its search space), and a
+traversal classifies an MTN using only probes inside that cone.  A
+**shard** is a set of MTNs plus the union of their cones -- a closed
+sub-domain a worker process can sweep against a read-only snapshot of
+the database with *zero* coordination, because
+
+* R1 closure (alive => descendants alive) stays inside the cone, and
+* R2 closure (dead => ancestors dead) escapes the cone only upward into
+  other MTNs' cones, which the coordinator re-derives when it merges the
+  shard's :class:`~repro.core.status.StatusDelta` (in deterministic
+  shard order, so merged stores are byte-identical across runs).
+
+Shard assignment is deterministic: MTNs are sorted by descending cone
+size (ties by index) and placed greedily on the least-loaded shard
+(LPT scheduling), so the same graph always produces the same shards and
+a re-run -- parallel or serial -- reproduces the same merged result.
+
+Sharding trades *reuse* for *parallelism*: cones overlap, and a node
+shared by two shards is probed once per shard (the per-shard evaluator
+caches never talk to each other).  Classifications are unaffected --
+aliveness is ground truth -- which is exactly why the sharded run stays
+byte-identical to serial in classifications and MPANs while its
+executed-query count may exceed a shared-cache serial sweep's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mtn import ExplorationGraph
+from repro.core.status import StatusStore
+from repro.core.traversal.base import seed_base_levels
+from repro.obs.budget import ProbeBudgetExhausted
+from repro.relational.database import Database
+from repro.relational.evaluator import InstrumentedEvaluator
+
+#: Strategies whose sweeps decompose along MTN cones.  SBH's greedy
+#: choice depends on every previous answer across the whole graph, so it
+#: stays coordinator-side (its frontier is a singleton by design).
+SHARDABLE_STRATEGIES: tuple[str, ...] = ("bu", "td", "buwr", "tdwr")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of distributable traversal work."""
+
+    shard_id: int
+    mtn_indexes: tuple[int, ...]
+    #: Union of ``desc_plus`` over the shard's MTNs -- the node bitset a
+    #: worker's :class:`~repro.core.status.StatusStore` is restricted to.
+    domain: int
+
+    @property
+    def node_count(self) -> int:
+        return self.domain.bit_count()
+
+    @property
+    def mtn_count(self) -> int:
+        return len(self.mtn_indexes)
+
+
+@dataclass
+class ShardFailure:
+    """A structured record of one shard that did not complete remotely.
+
+    Never silently dropped: the coordinator retries the shard serially
+    (once) and records whether that recovery succeeded, so a crash or
+    timeout degrades to reduced parallelism, not to missing MTNs.
+    """
+
+    shard_id: int
+    kind: str  # "crash" | "timeout" | "error"
+    message: str
+    retried: bool = False
+    recovered: bool = False
+    traceback_text: str = ""
+
+    def render(self) -> str:
+        state = "recovered serially" if self.recovered else "NOT recovered"
+        return f"shard {self.shard_id} {self.kind} ({state}): {self.message}"
+
+
+def extract_shards(graph: ExplorationGraph, shard_count: int) -> list[Shard]:
+    """Partition the graph's MTNs into at most ``shard_count`` shards.
+
+    Deterministic LPT balancing on cone size: big search spaces spread
+    first, ties broken by MTN index, shard load compared by (node count,
+    shard id).  Every MTN lands in exactly one shard and the shard
+    domains jointly cover every exploration node (cones may overlap).
+    Fewer MTNs than ``shard_count`` yields fewer (non-empty) shards.
+    """
+    if shard_count <= 0:
+        raise ValueError("shard_count must be positive")
+    mtns = sorted(
+        graph.mtn_indexes,
+        key=lambda index: (-graph.desc_plus(index).bit_count(), index),
+    )
+    count = min(shard_count, len(mtns))
+    members: list[list[int]] = [[] for _ in range(count)]
+    loads = [0] * count
+    for mtn_index in mtns:
+        target = min(range(count), key=lambda shard: (loads[shard], shard))
+        members[target].append(mtn_index)
+        loads[target] += graph.desc_plus(mtn_index).bit_count()
+    shards = []
+    for shard_id, mtn_indexes in enumerate(members):
+        domain = 0
+        for mtn_index in mtn_indexes:
+            domain |= graph.desc_plus(mtn_index)
+        shards.append(Shard(shard_id, tuple(sorted(mtn_indexes)), domain))
+    return shards
+
+
+@dataclass
+class ShardSweepOutcome:
+    """What one shard's local traversal learned."""
+
+    store: StatusStore
+    exhausted: bool = False
+    #: Per-MTN stores for the non-reuse strategies (BU/TD); empty for the
+    #: shared-store sweeps.  Only the merged masks travel off-process.
+    per_mtn: dict[int, StatusStore] = field(default_factory=dict)
+
+
+def run_shard_traversal(
+    graph: ExplorationGraph,
+    database: Database,
+    strategy_name: str,
+    shard: Shard,
+    evaluator: InstrumentedEvaluator,
+) -> ShardSweepOutcome:
+    """Sweep one shard's cone with the named strategy's probe order.
+
+    Mirrors the serial strategies exactly, restricted to the shard: BU/TD
+    sweep each MTN's cone independently (fresh store, no reuse), BUWR/
+    TDWR run one shared sweep over the whole shard domain.  A budget
+    refusal stops the sweep cleanly; everything classified so far is
+    kept (anytime semantics), and the outcome is flagged ``exhausted``.
+    """
+    from repro.core.traversal.bottom_up import _sweep_up
+    from repro.core.traversal.top_down import _sweep_down
+
+    if strategy_name not in SHARDABLE_STRATEGIES:
+        raise ValueError(
+            f"strategy {strategy_name!r} is not shardable; "
+            f"choose from {SHARDABLE_STRATEGIES}"
+        )
+    upward = strategy_name in ("bu", "buwr")
+    sweep = _sweep_up if upward else _sweep_down
+    merged = StatusStore(graph, domain=shard.domain)
+    outcome = ShardSweepOutcome(store=merged)
+    if strategy_name in ("bu", "td"):
+        for mtn_index in shard.mtn_indexes:
+            store = StatusStore(graph, domain=graph.desc_plus(mtn_index))
+            seed_base_levels(graph, store, database)
+            try:
+                sweep(graph, store, evaluator, graph.node(mtn_index).level)
+            except ProbeBudgetExhausted:
+                outcome.exhausted = True
+                outcome.per_mtn[mtn_index] = store
+                merged.apply_delta(store.export_delta())
+                return outcome
+            outcome.per_mtn[mtn_index] = store
+            merged.apply_delta(store.export_delta())
+        return outcome
+    seed_base_levels(graph, merged, database)
+    max_level = max(
+        (graph.node(index).level for index in shard.mtn_indexes), default=0
+    )
+    try:
+        sweep(graph, merged, evaluator, max_level)
+    except ProbeBudgetExhausted:
+        outcome.exhausted = True
+    return outcome

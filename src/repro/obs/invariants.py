@@ -24,7 +24,14 @@ for:
 * **reuse bound** -- a reuse strategy (``buwr``/``tdwr``/``sbh``) caches
   every answer, so it can execute at most ``traversal_start.nodes``
   distinct probes.  (The non-reuse strategies re-execute per MTN by
-  design and carry no such bound.)
+  design and carry no such bound.  Sharded segments --
+  ``traversal_start.sharded`` -- are exempt too: shard cones overlap and
+  each shard's cache is private, so a node shared by K shards may
+  execute K times.)
+* **shard-plan cap** -- a ``shard_plan`` event's per-shard
+  ``max_queries`` carvings must sum to at most the parent budget's cap
+  (and none may be uncapped under a capped parent): the combined shards
+  can never out-spend the budget the caller set.
 * **pool release** -- a ``pool_stats`` event (emitted by
   :meth:`repro.core.debugger.NonAnswerDebugger.close`) must show every
   pooled connection checked back in and a peak within the cap.
@@ -130,7 +137,11 @@ def _check_segment(
             )
         )
 
-    if strategy in REUSE_STRATEGIES and isinstance(start.get("nodes"), int):
+    if (
+        strategy in REUSE_STRATEGIES
+        and isinstance(start.get("nodes"), int)
+        and start.get("sharded") is not True
+    ):
         if executed > start["nodes"]:
             violations.append(
                 InvariantViolation(
@@ -164,6 +175,39 @@ def _check_segment(
                     end["seq"],
                     "budget_exhausted fired but traversal_end is not "
                     "marked exhausted",
+                )
+            )
+
+
+def _check_shard_plans(
+    records: list[dict[str, Any]], violations: list[InvariantViolation]
+) -> None:
+    """Per-shard budget carvings must stay within the parent cap."""
+    for record in records:
+        if record.get("kind") != "event" or record.get("name") != "shard_plan":
+            continue
+        parent = record.get("parent_max_queries")
+        caps = record.get("shard_max_queries")
+        if not isinstance(parent, int) or not isinstance(caps, list):
+            continue
+        uncapped = sum(1 for cap in caps if not isinstance(cap, int))
+        if uncapped:
+            violations.append(
+                InvariantViolation(
+                    "shard-plan-cap",
+                    record["seq"],
+                    f"{uncapped} shard(s) carry no query cap under a parent "
+                    f"budget of max_queries={parent}",
+                )
+            )
+        total = sum(cap for cap in caps if isinstance(cap, int))
+        if total > parent:
+            violations.append(
+                InvariantViolation(
+                    "shard-plan-cap",
+                    record["seq"],
+                    f"per-shard caps sum to {total}, above the parent "
+                    f"budget's max_queries={parent}",
                 )
             )
 
@@ -208,6 +252,7 @@ def check_trace_records(
     spans = [r for r in records if r.get("kind") == "span"]
     _check_span_tiers(spans, violations)
     _check_pool_events(records, violations)
+    _check_shard_plans(records, violations)
 
     start: dict[str, Any] | None = None
     segment_spans: list[dict[str, Any]] = []

@@ -1,0 +1,266 @@
+"""The coordinator <-> shard-worker message protocol.
+
+Everything that crosses a process boundary is one of the frozen
+dataclasses below, and every field is restricted to *transport-safe*
+types: primitives (``int``/``float``/``str``/``bool``/``bytes``/
+``None``), tuples of those, or other protocol messages.  No live
+objects -- stores, evaluators, locks, connections -- ever travel; a
+shard's entire learning compresses into three arbitrary-precision mask
+integers (:class:`~repro.core.status.StatusDelta`) plus flat counters
+and JSON-encoded span strings.  That restriction is what lets the same
+messages flow over a :mod:`multiprocessing` queue today and a socket to
+another host tomorrow, and it is enforced twice:
+
+* statically by the ``CONC006`` lint (:mod:`repro.analysis.concurrency`),
+  which checks every ``Message`` subclass is a frozen dataclass whose
+  annotations stay inside the allowlisted grammar, and
+* at runtime by :func:`validate_payload` plus the pickle round-trip test.
+
+The socket framing variant is length-prefixed pickle: a 4-byte
+big-endian length followed by the payload, decoded through a restricted
+unpickler that only resolves names in this module (a frame from an
+untrusted peer cannot instantiate arbitrary classes).
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, BinaryIO
+
+#: Hard ceiling on one frame's payload; a corrupt or hostile length
+#: prefix fails fast instead of allocating gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+_SCALARS = (bool, int, float, str, bytes, type(None))
+
+
+class ProtocolError(RuntimeError):
+    """A frame or message violated the shard protocol."""
+
+
+class Message:
+    """Marker base class for every shard protocol message."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ShardTask(Message):
+    """Coordinator -> worker: sweep one shard.
+
+    The shard's members travel as MTN indexes (the worker re-derives the
+    domain from its inherited graph snapshot); the three ``max_*`` fields
+    are this shard's slice of the parent :class:`~repro.obs.budget.
+    ProbeBudget`, carved deterministically by the coordinator so budget
+    exhaustion does not depend on process scheduling.
+    """
+
+    shard_id: int
+    strategy: str
+    mtn_indexes: tuple[int, ...]
+    max_queries: int | None = None
+    max_simulated_seconds: float | None = None
+    max_wall_seconds: float | None = None
+
+    @property
+    def budgeted(self) -> bool:
+        return (
+            self.max_queries is not None
+            or self.max_simulated_seconds is not None
+            or self.max_wall_seconds is not None
+        )
+
+
+@dataclass(frozen=True)
+class ShardClaim(Message):
+    """Worker -> coordinator: I picked shard ``shard_id`` off the queue.
+
+    Sent before any probe runs, so a later crash or stall can be
+    attributed to the exact shard that died with it.
+    """
+
+    shard_id: int
+    process_id: int
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Worker -> coordinator: still alive (``shard_id`` = current work)."""
+
+    process_id: int
+    shard_id: int | None
+
+
+@dataclass(frozen=True)
+class ShardResult(Message):
+    """Worker -> coordinator: one shard's complete (or exhausted) sweep.
+
+    The three masks are the shard store's
+    :class:`~repro.core.status.StatusDelta`; ``spans`` carries the
+    worker-side probe spans as JSON strings (dicts are not
+    transport-safe) for the coordinator to re-record with
+    ``process_id``/``shard_id`` stamped.
+    """
+
+    shard_id: int
+    process_id: int
+    alive_mask: int
+    dead_mask: int
+    evaluated_mask: int
+    exhausted: bool
+    queries_executed: int
+    cache_hits: int
+    cache_misses: int
+    l1_hits: int
+    l2_hits: int
+    cache_evictions: int
+    wall_time: float
+    simulated_time: float
+    executed_by_level: tuple[tuple[int, int], ...]
+    spans: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ShardError(Message):
+    """Worker -> coordinator: the shard's sweep raised instead of finishing."""
+
+    shard_id: int
+    process_id: int
+    error_type: str
+    message: str
+    traceback_text: str
+
+
+@dataclass(frozen=True)
+class WorkerExit(Message):
+    """Worker -> coordinator: clean shutdown after the queue drained."""
+
+    process_id: int
+    shards_completed: int
+
+
+#: Every concrete message type, in definition order; the restricted
+#: unpickler resolves exactly these names (plus nothing else).
+MESSAGE_TYPES: tuple[type[Message], ...] = (
+    ShardTask,
+    ShardClaim,
+    Heartbeat,
+    ShardResult,
+    ShardError,
+    WorkerExit,
+)
+
+_MESSAGE_NAMES = {cls.__name__: cls for cls in MESSAGE_TYPES}
+
+
+# ---------------------------------------------------------------- payloads
+def validate_payload(value: Any, _path: str = "message") -> None:
+    """Raise :class:`ProtocolError` unless ``value`` is transport-safe.
+
+    Transport-safe means: a scalar primitive, a tuple of transport-safe
+    values, or a protocol message (a frozen dataclass subclassing
+    :class:`Message`) whose field values are transport-safe.  This is
+    the runtime twin of the static ``CONC006`` lint; the round-trip test
+    runs both against every message type.
+    """
+    if isinstance(value, _SCALARS):
+        return
+    if isinstance(value, tuple):
+        for position, item in enumerate(value):
+            validate_payload(item, f"{_path}[{position}]")
+        return
+    if isinstance(value, Message):
+        if not (is_dataclass(value) and type(value).__dataclass_params__.frozen):
+            raise ProtocolError(
+                f"{_path}: {type(value).__name__} must be a frozen dataclass"
+            )
+        for spec in fields(value):
+            validate_payload(
+                getattr(value, spec.name), f"{_path}.{spec.name}"
+            )
+        return
+    raise ProtocolError(
+        f"{_path}: {type(value).__name__} is not transport-safe "
+        "(allowed: primitives, tuples, frozen Message dataclasses)"
+    )
+
+
+# ----------------------------------------------------------------- framing
+class _MessageUnpickler(pickle.Unpickler):
+    """Unpickler that resolves only protocol message classes."""
+
+    def find_class(self, module: str, name: str) -> Any:
+        if module == __name__ and name in _MESSAGE_NAMES:
+            return _MESSAGE_NAMES[name]
+        raise ProtocolError(f"frame references forbidden global {module}.{name}")
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize one validated message (no framing)."""
+    validate_payload(message)
+    return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_message(payload: bytes) -> Message:
+    """Inverse of :func:`encode_message`, through the restricted unpickler."""
+    decoded = _MessageUnpickler(io.BytesIO(payload)).load()
+    if not isinstance(decoded, Message):
+        raise ProtocolError(
+            f"frame decoded to non-message {type(decoded).__name__}"
+        )
+    validate_payload(decoded)
+    return decoded
+
+
+def frame_message(message: Message) -> bytes:
+    """Length-prefixed wire form: 4-byte big-endian size + pickle payload."""
+    payload = encode_message(message)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds frame cap {MAX_FRAME_BYTES}"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def write_frame(stream: BinaryIO, message: Message) -> int:
+    """Write one framed message; returns the bytes written."""
+    data = frame_message(message)
+    stream.write(data)
+    return len(data)
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if chunks:
+                raise ProtocolError(
+                    f"stream truncated mid-frame ({count - remaining}/{count} bytes)"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> Message | None:
+    """Read one framed message; ``None`` on clean end-of-stream."""
+    header = _read_exact(stream, _LENGTH.size)
+    if header is None:
+        return None
+    (size,) = _LENGTH.unpack(header)
+    if size > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame announces {size} bytes, above cap {MAX_FRAME_BYTES}"
+        )
+    payload = _read_exact(stream, size)
+    if payload is None:
+        raise ProtocolError("stream ended after frame header")
+    return decode_message(payload)

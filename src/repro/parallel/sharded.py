@@ -1,0 +1,710 @@
+"""Sharded lattice exploration: a multiprocessing coordinator/worker pair.
+
+:class:`~repro.parallel.ParallelProbeExecutor` (PR 4) overlaps backend
+round-trips with threads -- great for I/O, useless for the CPU-bound
+``memory`` backend, whose probe evaluation serializes on the GIL.  This
+module escapes the GIL: the coordinator partitions the exploration graph
+into per-MTN subtree shards (:func:`repro.core.traversal.extract_shards`),
+forks worker processes that each sweep their shards against the inherited
+read-only database/graph snapshot, and merges the returned
+:class:`~repro.core.status.StatusDelta` masks through rules R1/R2 in
+deterministic shard order.
+
+**Determinism contract.**  Everything that could depend on process
+scheduling is pinned down before any worker starts:
+
+* shard membership -- deterministic LPT assignment;
+* per-shard budgets -- the parent :class:`~repro.obs.budget.ProbeBudget`
+  is carved by :func:`carve_budget_caps` (floor division, remainder to
+  the lowest shard ids), so *which* probe a budget refuses is a function
+  of the shard plan, never of which worker ran first;
+* merge order -- deltas, stats, and re-recorded spans are folded in
+  ascending ``shard_id`` order at the end, whatever order results arrive.
+
+Hence a sharded run is byte-identical to the same shard plan executed
+serially in-process (``use_processes=False``), and -- because
+classifications are ground truth under R1/R2 -- identical in
+classifications and MPANs to the plain serial strategies when the budget
+does not bind.
+
+**Failure contract.**  A worker crash or shard timeout is never silently
+dropped: the failed shard is retried once, serially, on the coordinator,
+and the outcome is recorded as a structured
+:class:`~repro.core.traversal.ShardFailure` on the result.
+
+Workers are started with the ``fork`` method on purpose: the child
+inherits the database, graph, and tuple-set provider by memory snapshot,
+so nothing but protocol messages (see :mod:`repro.parallel.protocol`) is
+ever pickled.  Platforms without ``fork`` fall back to the in-process
+serial path, which preserves results exactly (just without the speedup).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Mapping
+
+from repro.core.mtn import ExplorationGraph
+from repro.core.status import StatusDelta, StatusStore
+from repro.core.traversal import (
+    SHARDABLE_STRATEGIES,
+    Shard,
+    ShardFailure,
+    TraversalResult,
+    extract_shards,
+    get_strategy,
+    run_shard_traversal,
+    seed_base_levels,
+)
+from repro.obs.budget import ProbeBudget
+from repro.obs.trace import ProbeTracer
+from repro.parallel.protocol import (
+    Heartbeat,
+    Message,
+    ShardClaim,
+    ShardError,
+    ShardResult,
+    ShardTask,
+    WorkerExit,
+)
+from repro.relational.database import Database
+from repro.relational.evaluator import (
+    EvaluationStats,
+    InstrumentedEvaluator,
+    QueryCostModel,
+)
+
+DEFAULT_PROCESSES = 4
+DEFAULT_HEARTBEAT_INTERVAL = 0.2
+
+#: Test hooks, inherited by forked workers: set to a shard id to make the
+#: worker that claims it die (``os._exit``) or stall (sleep) mid-shard.
+#: They exist so the crash/timeout recovery path stays regression-tested.
+CRASH_ENV = "REPRO_SHARD_CRASH"
+STALL_ENV = "REPRO_SHARD_STALL"
+STALL_SECONDS_ENV = "REPRO_SHARD_STALL_SECONDS"
+
+
+def carve_budget_caps(
+    budget: ProbeBudget | None, shard_count: int
+) -> list[tuple[int | None, float | None, float | None]]:
+    """Split a parent budget into deterministic per-shard caps.
+
+    The query axis is carved by floor division with the remainder going
+    to the lowest shard ids; the time axes split evenly.  The caps sum
+    to at most the parent's limits (``repro trace check`` verifies this
+    from the ``shard_plan`` event), so the combined shards can never
+    out-spend the budget the caller set -- at the price that one shard
+    cannot borrow another's unused slice, which is exactly what makes
+    exhaustion independent of process scheduling.
+    """
+    if shard_count <= 0:
+        raise ValueError("shard_count must be positive")
+    if budget is None or budget.unlimited:
+        return [(None, None, None)] * shard_count
+    queries: list[int | None]
+    if budget.max_queries is None:
+        queries = [None] * shard_count
+    else:
+        base, remainder = divmod(budget.max_queries, shard_count)
+        queries = [
+            base + (1 if shard < remainder else 0) for shard in range(shard_count)
+        ]
+    simulated = (
+        None
+        if budget.max_simulated_seconds is None
+        else budget.max_simulated_seconds / shard_count
+    )
+    wall = (
+        None
+        if budget.max_wall_seconds is None
+        else budget.max_wall_seconds / shard_count
+    )
+    return [(queries[shard], simulated, wall) for shard in range(shard_count)]
+
+
+def _execute_shard(
+    graph: ExplorationGraph,
+    database: Database,
+    strategy_name: str,
+    shard: Shard,
+    task: ShardTask,
+    backend: Any,
+    cost_model: QueryCostModel | None,
+    process_id: int,
+) -> ShardResult:
+    """Sweep one shard and package everything learned as a message.
+
+    Runs identically in a worker process and on the coordinator (the
+    serial fallback and the crash-retry path call it directly), which is
+    what makes the two modes byte-identical: same shard, same carved
+    budget, same fresh evaluator, same sweep.
+    """
+    budget = None
+    if task.budgeted:
+        budget = ProbeBudget(
+            max_queries=task.max_queries,
+            max_simulated_seconds=task.max_simulated_seconds,
+            max_wall_seconds=task.max_wall_seconds,
+        )
+    tracer = ProbeTracer()
+    evaluator = InstrumentedEvaluator(
+        backend,
+        cost_model=cost_model,
+        use_cache=strategy_name in ("buwr", "tdwr"),
+        budget=budget,
+        tracer=tracer,
+    )
+    outcome = run_shard_traversal(graph, database, strategy_name, shard, evaluator)
+    delta = outcome.store.export_delta()
+    stats = evaluator.stats
+    return ShardResult(
+        shard_id=shard.shard_id,
+        process_id=process_id,
+        alive_mask=delta.alive_mask,
+        dead_mask=delta.dead_mask,
+        evaluated_mask=delta.evaluated_mask,
+        exhausted=outcome.exhausted,
+        queries_executed=stats.queries_executed,
+        cache_hits=stats.cache_hits,
+        cache_misses=stats.cache_misses,
+        l1_hits=stats.l1_hits,
+        l2_hits=stats.l2_hits,
+        cache_evictions=stats.cache_evictions,
+        wall_time=stats.wall_time,
+        simulated_time=stats.simulated_time,
+        executed_by_level=tuple(sorted(stats.executed_by_level.items())),
+        spans=tuple(
+            json.dumps(span.to_dict(), sort_keys=True) for span in tracer.spans
+        ),
+    )
+
+
+def _shard_worker(
+    worker_index: int,
+    graph: ExplorationGraph,
+    database: Database,
+    strategy_name: str,
+    shards: list[Shard],
+    backend_name: str,
+    backend_options: dict[str, Any],
+    cost_model: QueryCostModel | None,
+    task_queue: Any,
+    result_queue: Any,
+    heartbeat_interval: float,
+) -> None:
+    """Worker process main: drain shard tasks until the ``None`` sentinel.
+
+    The graph/database/options arrive by fork inheritance (never
+    pickled); the worker builds its *own* backend -- inherited sqlite
+    connections must not be reused across a fork -- and ships only
+    protocol messages back.
+    """
+    process_id = os.getpid()
+    from repro.backends import create_backend
+
+    backend = create_backend(backend_name, database, **backend_options)
+    current_shard: list[int | None] = [None]
+    stop_beating = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beating.wait(heartbeat_interval):
+            result_queue.put(
+                Heartbeat(process_id=process_id, shard_id=current_shard[0])
+            )
+
+    heartbeat = threading.Thread(target=_beat, daemon=True)
+    heartbeat.start()
+    completed = 0
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            current_shard[0] = task.shard_id
+            result_queue.put(
+                ShardClaim(shard_id=task.shard_id, process_id=process_id)
+            )
+            if os.environ.get(CRASH_ENV) == str(task.shard_id):
+                time.sleep(0.05)  # let the claim drain the queue feeder
+                os._exit(17)
+            if os.environ.get(STALL_ENV) == str(task.shard_id):
+                time.sleep(float(os.environ.get(STALL_SECONDS_ENV, "3600")))
+            try:
+                result_queue.put(
+                    _execute_shard(
+                        graph,
+                        database,
+                        strategy_name,
+                        shards[task.shard_id],
+                        task,
+                        backend,
+                        cost_model,
+                        process_id,
+                    )
+                )
+                completed += 1
+            except BaseException as error:  # noqa: BLE001 - shipped, not hidden
+                result_queue.put(
+                    ShardError(
+                        shard_id=task.shard_id,
+                        process_id=process_id,
+                        error_type=type(error).__name__,
+                        message=str(error),
+                        traceback_text=traceback.format_exc(),
+                    )
+                )
+            current_shard[0] = None
+    finally:
+        stop_beating.set()
+        closer = getattr(backend, "close", None)
+        if closer is not None:
+            closer()
+        result_queue.put(
+            WorkerExit(process_id=process_id, shards_completed=completed)
+        )
+
+
+class ShardedLatticeExecutor:
+    """Coordinates shard workers and merges their deltas deterministically.
+
+    One executor is cheap and stateless between runs (the process pool is
+    per-run: workers fork a snapshot of *this* graph/database, so they
+    cannot outlive the call).  ``shards`` defaults to ``processes``;
+    more shards than processes gives the task queue room to load-balance
+    uneven subtree sizes.
+    """
+
+    def __init__(
+        self,
+        processes: int = DEFAULT_PROCESSES,
+        shards: int | None = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        shard_timeout: float | None = None,
+    ):
+        if processes <= 0:
+            raise ValueError("processes must be positive")
+        if shards is not None and shards <= 0:
+            raise ValueError("shards must be positive")
+        self.processes = processes
+        self.shards = shards
+        self.heartbeat_interval = heartbeat_interval
+        self.shard_timeout = shard_timeout
+
+    # ----------------------------------------------------------------- run
+    def run(
+        self,
+        graph: ExplorationGraph,
+        database: Database,
+        strategy_name: str,
+        *,
+        backend: str = "memory",
+        backend_options: Mapping[str, Any] | None = None,
+        cost_model: QueryCostModel | None = None,
+        budget: ProbeBudget | None = None,
+        tracer: ProbeTracer | None = None,
+        coordinator_backend: Any = None,
+        use_processes: bool = True,
+    ) -> TraversalResult:
+        """Classify every MTN of ``graph`` by sharded traversal.
+
+        ``use_processes=False`` (or an unavailable ``fork``) executes the
+        identical shard plan serially in-process -- same results, no
+        parallelism -- which is also how failed shards are retried.
+        ``coordinator_backend`` is the already-built backend used for
+        those coordinator-side sweeps; when omitted one is created from
+        ``backend``/``backend_options`` and closed afterwards.
+        """
+        strategy_name = strategy_name.lower()
+        if strategy_name not in SHARDABLE_STRATEGIES:
+            raise ValueError(
+                f"strategy {strategy_name!r} is not shardable; "
+                f"choose from {SHARDABLE_STRATEGIES} (sbh's greedy frontier "
+                "is global by design and runs coordinator-side)"
+            )
+        started = time.perf_counter()
+        options = dict(backend_options or {})
+        shards = extract_shards(graph, self.shards or self.processes)
+        # A graph with no MTNs (an aborted or answer-only query) has an
+        # empty shard plan; the merge below still produces a well-formed
+        # empty result.
+        caps = carve_budget_caps(budget, len(shards)) if shards else []
+        tasks = [
+            ShardTask(
+                shard_id=shard.shard_id,
+                strategy=strategy_name,
+                mtn_indexes=shard.mtn_indexes,
+                max_queries=caps[shard.shard_id][0],
+                max_simulated_seconds=caps[shard.shard_id][1],
+                max_wall_seconds=caps[shard.shard_id][2],
+            )
+            for shard in shards
+        ]
+        if tracer is not None:
+            tracer.set_context(strategy=strategy_name)
+            tracer.record_event(
+                "traversal_start",
+                strategy=strategy_name,
+                nodes=len(graph),
+                mtns=len(graph.mtn_indexes),
+                sharded=True,
+                shards=len(shards),
+                processes=self.processes,
+            )
+            tracer.record_event(
+                "shard_plan",
+                shards=len(shards),
+                processes=self.processes,
+                parent_max_queries=(
+                    budget.max_queries if budget is not None else None
+                ),
+                shard_max_queries=[cap[0] for cap in caps],
+                shard_nodes=[shard.node_count for shard in shards],
+                shard_mtns=[shard.mtn_count for shard in shards],
+            )
+        failures: list[ShardFailure] = []
+        try:
+            if use_processes and self.processes > 1 and len(shards) > 1:
+                results, failures = self._run_parallel(
+                    graph, database, strategy_name, shards, tasks,
+                    backend, options, cost_model,
+                )
+                # A shard whose result arrived despite a death/timeout
+                # verdict (queue latency) did not actually fail.
+                failures = [
+                    failure
+                    for failure in failures
+                    if failure.shard_id not in results
+                ]
+            else:
+                results = {}
+            # Coordinator-side execution: the serial fallback (nothing ran
+            # in parallel) and the one-retry recovery of failed shards.
+            owned_backend = None
+            pending = [
+                shard
+                for shard in shards
+                if shard.shard_id not in results
+            ]
+            if pending:
+                local_backend = coordinator_backend
+                if local_backend is None:
+                    from repro.backends import create_backend
+
+                    local_backend = owned_backend = create_backend(
+                        backend, database, **options
+                    )
+                by_shard = {failure.shard_id: failure for failure in failures}
+                try:
+                    for shard in pending:
+                        prior = by_shard.get(shard.shard_id)
+                        if prior is not None:
+                            prior.retried = True
+                        try:
+                            results[shard.shard_id] = _execute_shard(
+                                graph, database, strategy_name, shard,
+                                tasks[shard.shard_id], local_backend,
+                                cost_model, os.getpid(),
+                            )
+                        except Exception as error:
+                            if prior is None:
+                                by_shard[shard.shard_id] = ShardFailure(
+                                    shard_id=shard.shard_id,
+                                    kind="error",
+                                    message=f"{type(error).__name__}: {error}",
+                                    traceback_text=traceback.format_exc(),
+                                )
+                                failures.append(by_shard[shard.shard_id])
+                            continue
+                        if prior is not None:
+                            prior.recovered = True
+                finally:
+                    if owned_backend is not None:
+                        closer = getattr(owned_backend, "close", None)
+                        if closer is not None:
+                            closer()
+            return self._merge(
+                graph, database, strategy_name, shards, results, failures,
+                budget, tracer, started,
+            )
+        finally:
+            if tracer is not None:
+                tracer.set_context(strategy=None)
+
+    # ------------------------------------------------------------ parallel
+    def _run_parallel(
+        self,
+        graph: ExplorationGraph,
+        database: Database,
+        strategy_name: str,
+        shards: list[Shard],
+        tasks: list[ShardTask],
+        backend_name: str,
+        backend_options: dict[str, Any],
+        cost_model: QueryCostModel | None,
+    ) -> tuple[dict[int, ShardResult], list[ShardFailure]]:
+        """Fan shards out over forked workers; never raises on worker death.
+
+        Returns the per-shard results that arrived plus structured
+        failures for every shard that did not (crash, stall past
+        ``shard_timeout``, or in-shard exception); the caller retries
+        those serially.
+        """
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            # No fork on this platform: the caller's serial path takes over.
+            return {}, []
+        task_queue = context.Queue()
+        result_queue = context.Queue()
+        worker_count = min(self.processes, len(shards))
+        for task in tasks:
+            task_queue.put(task)
+        for _ in range(worker_count):
+            task_queue.put(None)
+        workers = [
+            context.Process(
+                target=_shard_worker,
+                args=(
+                    index, graph, database, strategy_name, shards,
+                    backend_name, backend_options, cost_model,
+                    task_queue, result_queue, self.heartbeat_interval,
+                ),
+                daemon=True,
+            )
+            for index in range(worker_count)
+        ]
+        for worker in workers:
+            worker.start()
+        by_pid = {worker.pid: worker for worker in workers}
+        results: dict[int, ShardResult] = {}
+        failures: list[ShardFailure] = []
+        pending = {shard.shard_id for shard in shards}
+        claims: dict[int, tuple[int, float]] = {}
+        last_heartbeat: dict[int, float] = {}
+
+        def _fail(shard_id: int, kind: str, message: str) -> None:
+            pending.discard(shard_id)
+            failures.append(
+                ShardFailure(shard_id=shard_id, kind=kind, message=message)
+            )
+
+        dead_seen: dict[int, float] = {}
+        #: Seconds a dead worker's already-queued messages get to drain
+        #: before its claimed shard is declared crashed; without the
+        #: grace, a worker's final result racing its own exit would be
+        #: misread as a crash.
+        death_grace = max(0.5, 2 * self.heartbeat_interval)
+        try:
+            while pending:
+                # Drain every queued message first; liveness verdicts are
+                # only rendered on an empty queue so a finished shard's
+                # result always beats its worker's death notice.
+                drained = False
+                while True:
+                    message: Message | None
+                    try:
+                        message = result_queue.get(
+                            timeout=0.0 if drained else 0.05
+                        )
+                    except queue.Empty:
+                        break
+                    drained = True
+                    now = time.perf_counter()
+                    if isinstance(message, ShardClaim):
+                        claims[message.shard_id] = (message.process_id, now)
+                    elif isinstance(message, Heartbeat):
+                        last_heartbeat[message.process_id] = now
+                    elif isinstance(message, ShardResult):
+                        results[message.shard_id] = message
+                        pending.discard(message.shard_id)
+                    elif isinstance(message, ShardError):
+                        if message.shard_id in pending:
+                            _fail(
+                                message.shard_id,
+                                "error",
+                                f"{message.error_type}: {message.message}",
+                            )
+                            failures[-1].traceback_text = message.traceback_text
+                    # WorkerExit falls through to the liveness checks.
+                now = time.perf_counter()
+                for worker in workers:
+                    if worker.pid is not None and not worker.is_alive():
+                        dead_seen.setdefault(worker.pid, now)
+                if self.shard_timeout is not None:
+                    for shard_id, (process_id, claimed_at) in list(claims.items()):
+                        if (
+                            shard_id in pending
+                            and now - claimed_at > self.shard_timeout
+                        ):
+                            beat = last_heartbeat.get(process_id)
+                            detail = (
+                                f"last heartbeat {now - beat:.2f}s ago"
+                                if beat is not None
+                                else "no heartbeat received"
+                            )
+                            _fail(
+                                shard_id,
+                                "timeout",
+                                f"shard exceeded {self.shard_timeout:.2f}s "
+                                f"in worker pid {process_id} ({detail})",
+                            )
+                            worker = by_pid.get(process_id)
+                            if worker is not None and worker.is_alive():
+                                worker.terminate()
+                for shard_id, (process_id, _) in list(claims.items()):
+                    worker = by_pid.get(process_id)
+                    if (
+                        shard_id in pending
+                        and worker is not None
+                        and not worker.is_alive()
+                        and now - dead_seen.get(process_id, now) > death_grace
+                    ):
+                        _fail(
+                            shard_id,
+                            "crash",
+                            f"worker pid {process_id} exited with code "
+                            f"{worker.exitcode} mid-shard",
+                        )
+                if (
+                    pending
+                    and all(not worker.is_alive() for worker in workers)
+                    and dead_seen
+                    and now - max(dead_seen.values()) > death_grace
+                ):
+                    # Whole pool died before the remaining shards were even
+                    # claimed; fail them all so the serial retry picks them up.
+                    for shard_id in sorted(pending):
+                        _fail(
+                            shard_id,
+                            "crash",
+                            "worker pool exited before the shard ran",
+                        )
+        finally:
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
+            for worker in workers:
+                worker.join(timeout=5.0)
+            for q in (task_queue, result_queue):
+                q.cancel_join_thread()
+                q.close()
+        return results, failures
+
+    # --------------------------------------------------------------- merge
+    def _merge(
+        self,
+        graph: ExplorationGraph,
+        database: Database,
+        strategy_name: str,
+        shards: list[Shard],
+        results: dict[int, ShardResult],
+        failures: list[ShardFailure],
+        budget: ProbeBudget | None,
+        tracer: ProbeTracer | None,
+        started: float,
+    ) -> TraversalResult:
+        """Fold shard results into one TraversalResult, in shard-id order."""
+        store = StatusStore(graph)
+        seed_base_levels(graph, store, database)
+        stats = EvaluationStats()
+        exhausted = False
+        for shard in shards:
+            shard_result = results.get(shard.shard_id)
+            if shard_result is None:
+                continue
+            store.apply_delta(
+                StatusDelta(
+                    alive_mask=shard_result.alive_mask,
+                    dead_mask=shard_result.dead_mask,
+                    evaluated_mask=shard_result.evaluated_mask,
+                )
+            )
+            exhausted = exhausted or shard_result.exhausted
+            stats.queries_executed += shard_result.queries_executed
+            stats.cache_hits += shard_result.cache_hits
+            stats.cache_misses += shard_result.cache_misses
+            stats.l1_hits += shard_result.l1_hits
+            stats.l2_hits += shard_result.l2_hits
+            stats.cache_evictions += shard_result.cache_evictions
+            stats.wall_time += shard_result.wall_time
+            stats.simulated_time += shard_result.simulated_time
+            for level, count in shard_result.executed_by_level:
+                stats.executed_by_level[level] = (
+                    stats.executed_by_level.get(level, 0) + count
+                )
+            if tracer is not None:
+                self._replay_spans(tracer, strategy_name, shard_result)
+        unrecovered = [f for f in failures if not f.recovered]
+        result = TraversalResult(strategy_name, graph)
+        result.shard_failures = failures
+        result.exhausted = exhausted
+        partial = exhausted or bool(unrecovered)
+        collector = get_strategy(strategy_name)
+        for mtn_index in graph.mtn_indexes:
+            collector._collect(store, result, mtn_index, partial=partial)
+        result.alive_mtns.sort()
+        result.dead_mtns.sort()
+        result.stats = stats
+        result.elapsed = time.perf_counter() - started
+        if budget is not None:
+            # Reflect the shards' combined spend into the parent budget so
+            # follow-up probing on the same budget sees an honest balance.
+            budget.charge(
+                queries=stats.queries_executed,
+                wall_seconds=stats.wall_time,
+                simulated_seconds=stats.simulated_time,
+            )
+        if tracer is not None:
+            tracer.record_event(
+                "traversal_end",
+                strategy=strategy_name,
+                queries_executed=stats.queries_executed,
+                cache_hits=stats.cache_hits,
+                classified=result.classified_mtn_count,
+                exhausted=result.exhausted,
+                sharded=True,
+                shard_failures=len(failures),
+            )
+        return result
+
+    @staticmethod
+    def _replay_spans(
+        tracer: ProbeTracer, strategy_name: str, shard_result: ShardResult
+    ) -> None:
+        """Re-record a shard's spans with process/shard stamped.
+
+        ``budget_remaining`` is deliberately dropped: it counted against
+        the shard's carved budget, and interleaving several shards'
+        countdowns would break the per-segment monotonicity that
+        ``repro trace check`` verifies.
+        """
+        for encoded in shard_result.spans:
+            span = json.loads(encoded)
+            tracer.record_probe(
+                level=span["level"],
+                keywords=span["keywords"],
+                backend=span["backend"],
+                alive=span["alive"],
+                cache_hit=span["cache_hit"],
+                wall_seconds=span["wall_seconds"],
+                simulated_seconds=span["simulated_seconds"],
+                worker_id=span.get("worker_id"),
+                queue_wait_s=span.get("queue_wait_s"),
+                cache_tier=span.get("cache_tier"),
+                process_id=shard_result.process_id,
+                shard_id=shard_result.shard_id,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedLatticeExecutor(processes={self.processes}, "
+            f"shards={self.shards or self.processes})"
+        )

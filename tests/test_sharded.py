@@ -1,0 +1,426 @@
+"""Sharded lattice exploration: shard plan, protocol, executor, failures."""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+
+import pytest
+
+from repro.core.status import InconsistentStatusError, StatusStore
+from repro.core.traversal import (
+    SHARDABLE_STRATEGIES,
+    extract_shards,
+    get_strategy,
+    run_shard_traversal,
+)
+from repro.obs import ProbeBudget, ProbeTracer
+from repro.parallel import ShardedLatticeExecutor, carve_budget_caps
+from repro.parallel.protocol import (
+    MESSAGE_TYPES,
+    Heartbeat,
+    ProtocolError,
+    ShardClaim,
+    ShardError,
+    ShardResult,
+    ShardTask,
+    WorkerExit,
+    decode_message,
+    encode_message,
+    frame_message,
+    read_frame,
+    validate_payload,
+    write_frame,
+)
+from repro.parallel.sharded import CRASH_ENV, STALL_ENV, STALL_SECONDS_ENV
+from repro.relational.evaluator import InstrumentedEvaluator
+
+QUERY = "saffron scented candle"
+
+
+def build_graph(debugger, query=QUERY):
+    mapping = debugger.map_keywords(query)
+    return debugger.build_graph(debugger.prune(mapping))
+
+
+def sample_messages():
+    """One well-formed instance of every protocol message type."""
+    return [
+        ShardTask(0, "bu", (1, 2), max_queries=5),
+        ShardClaim(0, 4242),
+        Heartbeat(4242, None),
+        Heartbeat(4242, 0),
+        ShardResult(
+            shard_id=0,
+            process_id=4242,
+            alive_mask=0b101,
+            dead_mask=0b010,
+            evaluated_mask=0b111,
+            exhausted=False,
+            queries_executed=3,
+            cache_hits=1,
+            cache_misses=3,
+            l1_hits=1,
+            l2_hits=0,
+            cache_evictions=0,
+            wall_time=0.25,
+            simulated_time=0.0,
+            executed_by_level=((1, 2), (2, 1)),
+            spans=('{"kind": "span"}',),
+        ),
+        ShardError(1, 4242, "RuntimeError", "backend down", "Traceback..."),
+        WorkerExit(4242, 2),
+    ]
+
+
+class TestShardExtraction:
+    def test_every_mtn_in_exactly_one_shard(self, products_debugger):
+        graph = build_graph(products_debugger)
+        shards = extract_shards(graph, 3)
+        seen = [m for shard in shards for m in shard.mtn_indexes]
+        assert sorted(seen) == sorted(graph.mtn_indexes)
+
+    def test_cone_union_covers_graph(self, products_debugger):
+        graph = build_graph(products_debugger)
+        union = 0
+        for shard in extract_shards(graph, 2):
+            union |= shard.domain
+        assert union == (1 << len(graph)) - 1
+
+    def test_domain_is_union_of_mtn_cones(self, products_debugger):
+        graph = build_graph(products_debugger)
+        for shard in extract_shards(graph, 4):
+            expected = 0
+            for mtn_index in shard.mtn_indexes:
+                expected |= graph.desc_plus(mtn_index)
+            assert shard.domain == expected
+
+    def test_deterministic(self, products_debugger):
+        graph = build_graph(products_debugger)
+        assert extract_shards(graph, 3) == extract_shards(graph, 3)
+
+    def test_shard_count_capped_by_mtns(self, products_debugger):
+        graph = build_graph(products_debugger)
+        shards = extract_shards(graph, 100)
+        assert len(shards) == len(graph.mtn_indexes)
+        assert all(shard.mtn_count == 1 for shard in shards)
+
+    def test_invalid_count_rejected(self, products_debugger):
+        graph = build_graph(products_debugger)
+        with pytest.raises(ValueError):
+            extract_shards(graph, 0)
+
+
+class TestBudgetCarving:
+    def test_unlimited_budget_carves_to_unlimited(self):
+        caps = carve_budget_caps(ProbeBudget(), 3)
+        assert caps == [(None, None, None)] * 3
+
+    def test_query_caps_sum_to_parent(self):
+        budget = ProbeBudget(max_queries=10)
+        caps = carve_budget_caps(budget, 3)
+        assert sum(cap[0] for cap in caps) == 10
+        # Remainder lands on the low shard ids: 4, 3, 3.
+        assert [cap[0] for cap in caps] == [4, 3, 3]
+
+    def test_time_axes_split_evenly(self):
+        budget = ProbeBudget(max_wall_seconds=2.0, max_simulated_seconds=4.0)
+        caps = carve_budget_caps(budget, 4)
+        assert all(cap[1] == pytest.approx(1.0) for cap in caps)
+        assert all(cap[2] == pytest.approx(0.5) for cap in caps)
+
+    def test_none_budget(self):
+        assert carve_budget_caps(None, 2) == [(None, None, None)] * 2
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "message", sample_messages(), ids=lambda m: type(m).__name__
+    )
+    def test_encode_decode_roundtrip(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @pytest.mark.parametrize(
+        "message", sample_messages(), ids=lambda m: type(m).__name__
+    )
+    def test_frame_roundtrip(self, message):
+        stream = io.BytesIO()
+        write_frame(stream, message)
+        stream.seek(0)
+        assert read_frame(stream) == message
+        assert read_frame(stream) is None  # clean EOF
+
+    def test_multiple_frames_stream(self):
+        stream = io.BytesIO()
+        for message in sample_messages():
+            write_frame(stream, message)
+        stream.seek(0)
+        decoded = []
+        while (message := read_frame(stream)) is not None:
+            decoded.append(message)
+        assert decoded == sample_messages()
+
+    def test_truncated_frame_rejected(self):
+        data = frame_message(Heartbeat(1, None))
+        with pytest.raises(ProtocolError, match="truncated"):
+            read_frame(io.BytesIO(data[:-1]))
+
+    def test_restricted_unpickler_rejects_foreign_classes(self):
+        payload = pickle.dumps(os.system)  # a global outside the protocol
+        with pytest.raises(ProtocolError, match="forbidden global"):
+            decode_message(payload)
+
+    def test_non_message_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="non-message"):
+            decode_message(pickle.dumps((1, 2)))
+
+    def test_validate_payload_rejects_rich_types(self):
+        with pytest.raises(ProtocolError, match="not transport-safe"):
+            validate_payload({"a": 1})
+        # A frozen dataclass does not type-check construction, so a list
+        # can sneak into a field; the runtime validator catches it.
+        with pytest.raises(ProtocolError, match="not transport-safe"):
+            validate_payload(ShardClaim([0], 1))
+
+    def test_every_message_type_is_frozen_and_transport_safe(self):
+        # The runtime twin of the CONC006 static lint: instances built
+        # from transport-safe field values validate and pickle cleanly,
+        # and the dataclasses really are frozen.
+        from dataclasses import FrozenInstanceError, fields
+
+        by_type = {type(message) for message in sample_messages()}
+        assert by_type == set(MESSAGE_TYPES)
+        for message in sample_messages():
+            validate_payload(message)
+            first_field = fields(message)[0].name
+            with pytest.raises(FrozenInstanceError):
+                setattr(message, first_field, 99)
+
+
+class TestShardTraversal:
+    @pytest.mark.parametrize("name", SHARDABLE_STRATEGIES)
+    def test_shard_sweeps_cover_serial_classifications(
+        self, products_debugger, name
+    ):
+        graph = build_graph(products_debugger)
+        serial = products_debugger.debug(QUERY, strategy=name)
+        merged = StatusStore(graph)
+        for shard in extract_shards(graph, 2):
+            evaluator = InstrumentedEvaluator(
+                products_debugger.backend,
+                use_cache=get_strategy(name).uses_reuse,
+            )
+            outcome = run_shard_traversal(
+                graph, products_debugger.database, name, shard, evaluator
+            )
+            merged.apply_delta(outcome.store.export_delta())
+            assert not outcome.exhausted
+        alive = {
+            i for i in graph.mtn_indexes
+            if merged.status(i).name == "ALIVE"
+        }
+        assert alive == set(serial.traversal.alive_mtns)
+
+    def test_non_shardable_strategy_rejected(self, products_debugger):
+        graph = build_graph(products_debugger)
+        shard = extract_shards(graph, 1)[0]
+        evaluator = InstrumentedEvaluator(products_debugger.backend)
+        with pytest.raises(ValueError, match="not shardable"):
+            run_shard_traversal(
+                graph, products_debugger.database, "sbh", shard, evaluator
+            )
+
+
+class TestDeltaMerge:
+    def test_conflicting_delta_rejected(self, products_debugger):
+        graph = build_graph(products_debugger)
+        index = graph.mtn_indexes[0]
+        one = StatusStore(graph)
+        one.record(index, alive=True)
+        two = StatusStore(graph)
+        two.record(index, alive=False)
+        merged = StatusStore(graph)
+        merged.apply_delta(one.export_delta())
+        with pytest.raises(InconsistentStatusError):
+            merged.apply_delta(two.export_delta())
+
+
+def run_sharded(debugger, name, *, use_processes, budget=None, **kwargs):
+    executor = ShardedLatticeExecutor(
+        processes=kwargs.pop("processes", 2), shards=kwargs.pop("shards", None)
+    )
+    graph = build_graph(debugger)
+    return executor.run(
+        graph,
+        debugger.database,
+        name,
+        backend=debugger.backend_name,
+        backend_options=debugger.backend_factory_options,
+        cost_model=debugger.cost_model,
+        budget=budget,
+        coordinator_backend=debugger.backend,
+        use_processes=use_processes,
+        **kwargs,
+    )
+
+
+class TestShardedExecutor:
+    @pytest.mark.parametrize("name", SHARDABLE_STRATEGIES)
+    def test_serial_fallback_matches_strategy(self, products_debugger, name):
+        serial = products_debugger.debug(QUERY, strategy=name)
+        sharded = run_sharded(products_debugger, name, use_processes=False)
+        assert (
+            sharded.classification_signature()
+            == serial.traversal.classification_signature()
+        )
+        assert not sharded.shard_failures
+
+    @pytest.mark.parametrize("name", ("bu", "tdwr"))
+    def test_process_run_matches_strategy(self, products_debugger, name):
+        serial = products_debugger.debug(QUERY, strategy=name)
+        sharded = run_sharded(products_debugger, name, use_processes=True)
+        assert (
+            sharded.classification_signature()
+            == serial.traversal.classification_signature()
+        )
+        assert not sharded.shard_failures
+
+    def test_sbh_rejected(self, products_debugger):
+        with pytest.raises(ValueError, match="not shardable"):
+            run_sharded(products_debugger, "sbh", use_processes=False)
+
+    def test_budgeted_run_deterministic_and_charged(self, products_debugger):
+        parallel_budget = ProbeBudget(max_queries=5)
+        parallel = run_sharded(
+            products_debugger,
+            "bu",
+            use_processes=True,
+            budget=parallel_budget,
+            shards=3,
+        )
+        fallback_budget = ProbeBudget(max_queries=5)
+        fallback = run_sharded(
+            products_debugger,
+            "bu",
+            use_processes=False,
+            budget=fallback_budget,
+            shards=3,
+        )
+        # Same carved shard plan => byte-identical regardless of scheduling.
+        assert (
+            parallel.classification_signature()
+            == fallback.classification_signature()
+        )
+        assert (
+            parallel.stats.queries_executed == fallback.stats.queries_executed
+        )
+        assert parallel.stats.queries_executed <= 5
+        assert parallel.exhausted and fallback.exhausted
+        # The combined shard spend is reflected into the parent budget.
+        assert parallel_budget.queries_used == parallel.stats.queries_executed
+        # Every classification made under budget matches the unbudgeted run.
+        full = products_debugger.debug(QUERY, strategy="bu").traversal
+        full_alive, full_dead = set(full.alive_mtns), set(full.dead_mtns)
+        assert set(parallel.alive_mtns) <= full_alive
+        assert set(parallel.dead_mtns) <= full_dead
+
+    def test_spans_replayed_with_process_and_shard(self, products_debugger):
+        tracer = ProbeTracer()
+        graph = build_graph(products_debugger)
+        executor = ShardedLatticeExecutor(processes=2)
+        executor.run(
+            graph,
+            products_debugger.database,
+            "td",
+            backend=products_debugger.backend_name,
+            backend_options=products_debugger.backend_factory_options,
+            cost_model=products_debugger.cost_model,
+            tracer=tracer,
+            coordinator_backend=products_debugger.backend,
+        )
+        assert tracer.spans, "worker spans must be replayed on the coordinator"
+        assert all(span.shard_id is not None for span in tracer.spans)
+        assert all(span.process_id is not None for span in tracer.spans)
+        assert all(span.strategy == "td" for span in tracer.spans)
+        by_shard = tracer.aggregate("shard_id")
+        assert sum(row["probes"] for row in by_shard) == len(tracer.spans)
+        names = [e.name for e in tracer.events]
+        assert "traversal_start" in names
+        assert "shard_plan" in names
+        assert "traversal_end" in names
+
+
+class TestWorkerFailures:
+    def test_crashed_worker_shard_retried_serially(
+        self, products_debugger, monkeypatch
+    ):
+        monkeypatch.setenv(CRASH_ENV, "0")
+        serial = products_debugger.debug(QUERY, strategy="bu")
+        sharded = run_sharded(products_debugger, "bu", use_processes=True)
+        assert (
+            sharded.classification_signature()
+            == serial.traversal.classification_signature()
+        )
+        failures = [f for f in sharded.shard_failures if f.shard_id == 0]
+        assert failures, "the killed shard must surface a structured failure"
+        failure = failures[0]
+        assert failure.kind == "crash"
+        assert failure.retried and failure.recovered
+        assert "exited" in failure.message
+
+    def test_stalled_worker_shard_times_out_and_recovers(
+        self, products_debugger, monkeypatch
+    ):
+        monkeypatch.setenv(STALL_ENV, "0")
+        monkeypatch.setenv(STALL_SECONDS_ENV, "30")
+        serial = products_debugger.debug(QUERY, strategy="td")
+        executor = ShardedLatticeExecutor(
+            processes=2, shards=2, shard_timeout=1.0
+        )
+        graph = build_graph(products_debugger)
+        sharded = executor.run(
+            graph,
+            products_debugger.database,
+            "td",
+            backend=products_debugger.backend_name,
+            backend_options=products_debugger.backend_factory_options,
+            cost_model=products_debugger.cost_model,
+            coordinator_backend=products_debugger.backend,
+        )
+        assert (
+            sharded.classification_signature()
+            == serial.traversal.classification_signature()
+        )
+        failures = [f for f in sharded.shard_failures if f.shard_id == 0]
+        assert failures and failures[0].kind == "timeout"
+        assert failures[0].retried and failures[0].recovered
+
+    def test_failure_render_mentions_shard(self):
+        from repro.core.traversal import ShardFailure
+
+        failure = ShardFailure(3, "crash", "worker died", retried=True)
+        text = failure.render()
+        assert "shard 3" in text and "crash" in text
+
+
+class TestDebuggerIntegration:
+    def test_debug_with_processes_matches_serial(self, products_debugger):
+        serial = products_debugger.debug(QUERY, strategy="buwr")
+        sharded = products_debugger.debug(QUERY, strategy="buwr", processes=2)
+        assert (
+            sharded.traversal.classification_signature()
+            == serial.traversal.classification_signature()
+        )
+        assert not sharded.traversal.shard_failures
+
+    def test_sbh_with_processes_falls_back_to_coordinator(
+        self, products_debugger
+    ):
+        serial = products_debugger.debug(QUERY, strategy="sbh")
+        report = products_debugger.debug(QUERY, strategy="sbh", processes=2)
+        assert (
+            report.traversal.classification_signature()
+            == serial.traversal.classification_signature()
+        )
+        assert report.traversal.shard_failures == []

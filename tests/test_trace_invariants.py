@@ -156,6 +156,60 @@ class TestSegmentInvariants:
         assert names(records) == ["budget-monotone"]
 
 
+class TestShardInvariants:
+    def test_sharded_segment_exempt_from_reuse_bound(self):
+        records = [
+            dict(start(0, strategy="buwr", nodes=2), sharded=True),
+            span(1),
+            span(2),
+            span(3),  # 3 executed > 2 nodes: legal when sharded
+            end(4, executed=3),
+        ]
+        assert names(records) == []
+
+    def test_unsharded_reuse_bound_still_enforced(self):
+        records = [
+            start(0, strategy="buwr", nodes=2),
+            span(1),
+            span(2),
+            span(3),
+            end(4, executed=3),
+        ]
+        assert "reuse-bound" in names(records)
+
+    def shard_plan(self, seq, parent, caps):
+        return {
+            "kind": "event",
+            "seq": seq,
+            "name": "shard_plan",
+            "parent_max_queries": parent,
+            "shard_max_queries": caps,
+        }
+
+    def test_caps_within_parent_clean(self):
+        assert names([self.shard_plan(0, 10, [4, 3, 3])]) == []
+
+    def test_caps_over_parent_flagged(self):
+        violations = check_trace_records([self.shard_plan(0, 10, [6, 6])])
+        assert [v.invariant for v in violations] == ["shard-plan-cap"]
+        assert "sum to 12" in violations[0].message
+
+    def test_uncapped_shard_under_capped_parent_flagged(self):
+        assert names([self.shard_plan(0, 10, [5, None])]) == [
+            "shard-plan-cap"
+        ]
+
+    def test_unbudgeted_plan_ignored(self):
+        record = {
+            "kind": "event",
+            "seq": 0,
+            "name": "shard_plan",
+            "parent_max_queries": None,
+            "shard_max_queries": [None, None],
+        }
+        assert names([record]) == []
+
+
 class TestPoolInvariants:
     def test_unreleased_connections_flagged(self):
         records = [
