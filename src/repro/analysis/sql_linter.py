@@ -67,9 +67,10 @@ class SqlDryRunner:
     def __init__(self, schema: SchemaGraph):
         self.schema = schema
         self.connection = sqlite3.connect(":memory:")
-        # The token-mode predicates call TOKEN_MATCH; sqlite resolves
-        # functions at prepare time, so register a stub for the dry run.
+        # The predicates call TOKEN_MATCH/SUBSTRING_MATCH; sqlite resolves
+        # functions at prepare time, so register stubs for the dry run.
         self.connection.create_function("TOKEN_MATCH", 2, _token_match_stub)
+        self.connection.create_function("SUBSTRING_MATCH", 2, _token_match_stub)
         for statement in render_ddl(schema):
             self.connection.execute(statement)
 

@@ -100,7 +100,6 @@ def run_cache_bench(
     context = context or BenchContext()
     root = Path(cache_dir) if cache_dir is not None else Path(tempfile.mkdtemp())
     fingerprint = context.database.fingerprint()
-    schema = context.database.schema
     table = TextTable(
         f"Persistent probe cache: cold vs warm (level {level}, "
         f"{latency * 1000:.1f}ms/probe)",
@@ -119,7 +118,7 @@ def run_cache_bench(
     warm_queries_total = 0
     all_identical = True
     for name in strategies:
-        with ProbeCache.open_dir(root / name, schema, fingerprint) as cache:
+        with ProbeCache.open_dir(root / name, context.database) as cache:
             cache.clear()  # a reused --cache-dir must still start cold
             cold_wall, cold_queries, _, cold_results = _timed_pass(
                 context, level, name, latency, cache

@@ -1,0 +1,214 @@
+"""Cold-vs-warm-after-mutation benchmark for monotone cache repair.
+
+The cache bench (:mod:`repro.bench.cache`) measures the best case: a
+second session over an *unchanged* database.  This bench measures the
+case the repair machinery exists for -- a second session after the
+database was **mutated**:
+
+1. **cold (pristine)** -- per strategy, an empty L2 store is populated
+   by a full workload pass over the pristine DBLife snapshot;
+2. **mutate** -- one row is inserted into a single relation of the
+   *live* database (same :class:`~repro.relational.database.Database`
+   object, so the lineage-gated delta classifies it ``insert_only``);
+3. **warm (repaired)** -- per strategy, the store is re-attached with
+   the mutated database.  Attach runs the monotone repair: probes whose
+   join path avoids the mutated relation are re-keyed and stay warm,
+   cached ``alive`` probes touching it survive (insert-only can only
+   flip dead->alive), and only cached ``dead`` probes touching it are
+   evicted.  A fresh-evaluator pass then replays the workload;
+4. **cold (mutated)** -- the reference recompute: the same workload
+   against the mutated database through a separate empty store.
+
+Two invariants gate CI via ``BENCH_mutate.json``:
+
+* repaired-warm and cold-mutated classification signatures are
+  byte-identical for every (strategy, query) pair -- repair never
+  changes an answer, only avoids recomputing it; and
+* the repaired-warm passes execute fewer than
+  :data:`WARM_FRACTION_GATE` (25%) of the cold-mutated passes' backend
+  queries in total -- i.e. a single-relation insert must *not* nuke the
+  world.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.bench.cache import (
+    DEFAULT_BENCH_LATENCY,
+    DEFAULT_STRATEGIES,
+    _timed_pass,
+)
+from repro.bench.context import BenchContext
+from repro.bench.tables import TextTable
+from repro.cache import ProbeCache
+
+DEFAULT_BENCH_LEVEL = 4
+#: CI gate: after a single-relation insert, the repaired-warm passes
+#: must execute fewer than this fraction of the cold-mutated passes'
+#: backend queries.  Full eviction would re-execute ~100%.
+WARM_FRACTION_GATE = 0.25
+#: Relation receiving the single insert.  Publication sits on many join
+#: paths, so this exercises both survival (alive probes through it) and
+#: eviction (dead probes through it) rather than only re-keying.
+DEFAULT_MUTATED_RELATION = "Publication"
+#: Inserted title; deliberately matches no workload keyword so the
+#: cold-mutated reference stays comparable to the pristine cold pass.
+_MUTATED_TITLE = "benchmark mutation probe row"
+
+
+def _mutated_context(context: BenchContext) -> BenchContext:
+    """A fresh pipeline (index, mapper, debuggers) over the *same live*
+    database object.
+
+    Sharing the object keeps the lineage token, so the probe cache can
+    classify the delta as insert-only; rebuilding the pipeline mirrors
+    what a real second session does after the data changed.
+    """
+    return BenchContext(
+        config=context.config,
+        mode=context.mode,
+        max_keywords=context.max_keywords,
+        tracer=context.tracer,
+        _database=context.database,
+    )
+
+
+def run_mutate_bench(
+    context: BenchContext | None = None,
+    level: int = DEFAULT_BENCH_LEVEL,
+    cache_dir: str | Path | None = None,
+    latency: float = DEFAULT_BENCH_LATENCY,
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+    mutated_relation: str = DEFAULT_MUTATED_RELATION,
+) -> tuple[TextTable, dict]:
+    """Warm-after-repair vs cold recompute across a single-row insert.
+
+    Returns the rendered table and a JSON-able payload with per-strategy
+    query counts, repair statistics, the signature comparison, and the
+    warm/cold executed-query fraction CI gates on.
+    """
+    context = context or BenchContext()
+    root = Path(cache_dir) if cache_dir is not None else Path(tempfile.mkdtemp())
+    table = TextTable(
+        f"Cache repair after a single {mutated_relation} insert "
+        f"(level {level}, {latency * 1000:.1f}ms/probe)",
+        [
+            "strategy", "cold qrys", "warm qrys", "repaired", "evicted",
+            "identical",
+        ],
+    )
+    payload: dict = {
+        "level": level,
+        "latency_s": latency,
+        "cache_dir": str(root),
+        "mutated_relation": mutated_relation,
+        "strategies": {},
+    }
+
+    # Pristine cold passes populate one store per strategy.
+    pristine_queries: dict[str, int] = {}
+    for name in strategies:
+        with ProbeCache.open_dir(root / name, context.database) as cache:
+            cache.clear()  # a reused --cache-dir must still start cold
+            _, executed, _, _ = _timed_pass(context, level, name, latency, cache)
+        pristine_queries[name] = executed
+
+    # One insert into one relation of the live database.
+    table_rows = len(context.database.table(mutated_relation))
+    context.database.insert(mutated_relation, (table_rows + 1, _MUTATED_TITLE))
+    payload["mutation"] = {
+        "relation": mutated_relation,
+        "kind": "insert",
+        "rows": 1,
+    }
+
+    mutated = _mutated_context(context)
+    warm_wall_total = 0.0
+    cold_wall_total = 0.0
+    warm_queries_total = 0
+    cold_queries_total = 0
+    repaired_total = 0
+    evicted_total = 0
+    all_identical = True
+    all_insert_only = True
+    for name in strategies:
+        # Re-attach repairs the store against the mutated database.
+        with ProbeCache.open_dir(root / name, mutated.database) as cache:
+            report = cache.last_repair
+            warm_wall, warm_queries, warm_l2, warm_results = _timed_pass(
+                mutated, level, name, latency, cache
+            )
+        # Reference: full recompute on the mutated database, empty store.
+        with ProbeCache.open_dir(root / f"{name}-coldref", mutated.database) as ref:
+            ref.clear()
+            cold_wall, cold_queries, _, cold_results = _timed_pass(
+                mutated, level, name, latency, ref
+            )
+        identical = all(
+            one.classification_signature() == two.classification_signature()
+            for one, two in zip(cold_results, warm_results)
+        )
+        directions = dict(report.directions) if report is not None else {}
+        insert_only = directions == {mutated_relation: "insert_only"}
+        repaired = report.repaired if report is not None else 0
+        evicted = report.evicted if report is not None else 0
+        warm_wall_total += warm_wall
+        cold_wall_total += cold_wall
+        warm_queries_total += warm_queries
+        cold_queries_total += cold_queries
+        repaired_total += repaired
+        evicted_total += evicted
+        all_identical = all_identical and identical
+        all_insert_only = all_insert_only and insert_only
+        table.add_row(
+            name, cold_queries, warm_queries, repaired, evicted,
+            "yes" if identical else "NO",
+        )
+        payload["strategies"][name] = {
+            "pristine_cold_queries": pristine_queries[name],
+            "cold_queries": cold_queries,
+            "warm_queries": warm_queries,
+            "cold_wall_s": cold_wall,
+            "warm_wall_s": warm_wall,
+            "warm_l2_hits": warm_l2,
+            "repaired": repaired,
+            "evicted": evicted,
+            "delta_directions": directions,
+            "signatures_match": identical,
+        }
+    warm_fraction = warm_queries_total / max(1, cold_queries_total)
+    payload.update(
+        cold_wall_s=cold_wall_total,
+        warm_wall_s=warm_wall_total,
+        cold_queries_total=cold_queries_total,
+        warm_queries_total=warm_queries_total,
+        warm_fraction=warm_fraction,
+        warm_fraction_gate=WARM_FRACTION_GATE,
+        repaired_total=repaired_total,
+        evicted_total=evicted_total,
+        delta_insert_only=all_insert_only,
+        signatures_match=all_identical,
+        passed=(
+            all_identical
+            and all_insert_only
+            and warm_fraction < WARM_FRACTION_GATE
+        ),
+    )
+    table.add_note(
+        f"repaired-warm executed {warm_queries_total} of "
+        f"{cold_queries_total} cold queries "
+        f"({warm_fraction:.0%}; gate < {WARM_FRACTION_GATE:.0%})"
+    )
+    table.add_note(
+        f"repair kept {repaired_total} row(s) warm and evicted "
+        f"{evicted_total} across {len(strategies)} store(s)"
+    )
+    if not all_insert_only:
+        table.add_note(
+            "delta was NOT classified insert-only (lineage bug?)"
+        )
+    if not all_identical:
+        table.add_note("repaired/cold classifications DIVERGED (bug!)")
+    return table, payload

@@ -1,33 +1,65 @@
-"""Persistent cross-session probe cache (the L2 tier).
+"""Persistent cross-session caches (the L2 tier and the status store).
 
 Two tiers serve aliveness probes before the backend does:
 
 * **L1** -- the evaluator's bounded in-process LRU (what the paper calls
   *reuse*), per evaluator, dies with the process;
 * **L2** -- :class:`ProbeCache`, a sqlite file keyed by canonical query
-  code + dataset fingerprint, shared by every session pointed at the
-  same ``--cache-dir``.
+  code + the relation-fingerprint vector of the probed join path, shared
+  by every session pointed at the same ``--cache-dir``.  Mutations are
+  *repaired* (monotone survivor re-keying), not nuked.
 
-See :mod:`repro.cache.store` for the store and invalidation semantics
+Above them, :class:`StatusCache` persists whole-run classification facts
+per workload so an exact repeat skips Phase 3 and a mutated repeat
+pre-seeds the status store with everything still provable.
+
+See :mod:`repro.cache.store` for the probe store and invalidation
+semantics, :mod:`repro.cache.status` for the persisted classifications,
 and :mod:`repro.cache.keys` for the canonical key construction.
 """
 
-from repro.cache.keys import query_cache_key
+from repro.cache.keys import (
+    query_cache_key,
+    relation_vector_key,
+    relations_label,
+    workload_cache_key,
+)
+from repro.cache.status import (
+    STATUS_CACHE_FILENAME,
+    StatusCache,
+    StatusCacheError,
+    StatusFact,
+    StatusLoad,
+    fact_survives,
+)
 from repro.cache.store import (
     PROBE_CACHE_FILENAME,
+    PROBE_CACHE_SCHEMA_VERSION,
     ProbeCache,
     ProbeCacheError,
     ProbeCacheStats,
+    RepairReport,
     clear_cache_dir,
     inspect_cache_dir,
 )
 
 __all__ = [
     "query_cache_key",
+    "relation_vector_key",
+    "relations_label",
+    "workload_cache_key",
     "PROBE_CACHE_FILENAME",
+    "PROBE_CACHE_SCHEMA_VERSION",
+    "STATUS_CACHE_FILENAME",
     "ProbeCache",
     "ProbeCacheError",
     "ProbeCacheStats",
+    "RepairReport",
+    "StatusCache",
+    "StatusCacheError",
+    "StatusFact",
+    "StatusLoad",
+    "fact_survives",
     "clear_cache_dir",
     "inspect_cache_dir",
 ]

@@ -336,6 +336,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             count = context.tracer.write_jsonl(args.trace)
             print(f"(wrote {count} trace records to {args.trace})")
         return 0 if payload["passed"] else 1
+    if args.experiment == "mutate":
+        from repro.bench.mutate import DEFAULT_BENCH_LEVEL, run_mutate_bench
+
+        started = time.perf_counter()
+        table, payload = run_mutate_bench(
+            context,
+            level=args.level or DEFAULT_BENCH_LEVEL,
+            cache_dir=args.cache_dir,
+        )
+        print(table.render())
+        print(f"(ran in {time.perf_counter() - started:.1f} s)")
+        _write_bench_json(args, payload)
+        if args.trace and context.tracer is not None:
+            count = context.tracer.write_jsonl(args.trace)
+            print(f"(wrote {count} trace records to {args.trace})")
+        return 0 if payload["passed"] else 1
     if args.experiment == "shard":
         from repro.bench.shard import DEFAULT_BENCH_LEVEL, run_shard_bench
         from repro.parallel.sharded import DEFAULT_PROCESSES
@@ -433,9 +449,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     print(f"probe cache: {info['path']}")
     print(f"  size: {info['size_bytes']} bytes, entries: {info['entries']}")
-    for fingerprint, counts in info["fingerprints"].items():
+    for vector, counts in info["vectors"].items():
         print(
-            f"  fingerprint {fingerprint[:16]}...: "
+            f"  vector {vector[:16]}... [{counts['relations']}]: "
             f"{counts['entries']} entries ({counts['alive']} alive)"
         )
     return 0
@@ -576,7 +592,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser("bench", help="regenerate a paper table/figure")
     bench.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["cache", "parallel", "scaling", "shard"],
+        choices=sorted(EXPERIMENTS)
+        + ["cache", "mutate", "parallel", "scaling", "shard"],
     )
     bench.add_argument("--scale", type=int, default=1)
     bench.add_argument("--seed", type=int, default=42)

@@ -17,14 +17,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.backends import create_backend
-from repro.cache import ProbeCache
+from repro.cache import ProbeCache, StatusCache, StatusFact, query_cache_key, workload_cache_key
 from repro.core.binding import KeywordBinder, PrunedLattice
 from repro.core.constraints import UNCONSTRAINED, SearchConstraints
 from repro.core.lattice import Lattice, generate_lattice
 from repro.core.mtn import ExplorationGraph, build_exploration_graph
+from repro.core.status import InconsistentStatusError, Status, StatusStore
 from repro.core.traversal import (
     SHARDABLE_STRATEGIES,
     TraversalResult,
@@ -212,10 +213,14 @@ class NonAnswerDebugger:
         (``memory``, ``sqlite``, ``simulated``, or anything registered);
         ``backend_options`` is forwarded to its factory.  ``cache_dir``
         attaches a persistent probe cache (:class:`repro.cache.ProbeCache`)
-        keyed by ``database.fingerprint()`` as the L2 tier of every
-        reuse-enabled evaluator this debugger makes, so a second session
-        over an unchanged database answers previously probed nodes with
-        zero backend queries.
+        keyed by the relation-fingerprint vector of each probed join path
+        as the L2 tier of every reuse-enabled evaluator this debugger
+        makes, plus a :class:`repro.cache.StatusCache` of whole-run
+        classification facts: a second session over an unchanged database
+        answers previously probed nodes with zero backend queries and
+        skips Phase 3 entirely on an exact workload repeat; after a
+        mutation the caches are repaired (monotone survivors kept), not
+        discarded.
         """
         self.database = database
         self.schema = database.schema
@@ -257,11 +262,16 @@ class NonAnswerDebugger:
         self.backend_name = backend
         self.backend_factory_options = options
         self.backend: Any = create_backend(backend, database, **options)
+        # Remembered so refresh_after_mutation() can rebuild the
+        # snapshot-bound pieces (index, mapper, backend) in place.
+        self._max_interpretations = max_interpretations
         self.probe_cache: ProbeCache | None = None
+        self.status_cache: StatusCache | None = None
         if cache_dir is not None:
             self.probe_cache = ProbeCache.open_dir(
-                cache_dir, self.schema, database.fingerprint()
+                cache_dir, database, tracer=self.tracer
             )
+            self.status_cache = StatusCache.open_dir(cache_dir, database)
 
     # ------------------------------------------------------------- pipeline
     def make_evaluator(
@@ -306,6 +316,139 @@ class NonAnswerDebugger:
     ) -> ExplorationGraph:
         """Phase 2: MTNs of every interpretation plus their sub-networks."""
         return build_exploration_graph(pruned, self.mode, constraints)
+
+    # -------------------------------------------------- persisted status
+    def workload_key(self, mapping: KeywordMapping) -> str:
+        """Canonical key of one workload under this debugger's lattice shape."""
+        return workload_cache_key(
+            mapping.keywords,
+            self.mode.value,
+            self.binder.max_joins,
+            self.binder.max_keywords,
+            self.binder.free_copies,
+        )
+
+    def _node_key_index(self, graph: ExplorationGraph) -> dict[str, list[int]]:
+        by_key: dict[str, list[int]] = {}
+        for index in range(len(graph)):
+            key = query_cache_key(graph.node(index).query, self.schema)
+            by_key.setdefault(key, []).append(index)
+        return by_key
+
+    def _facts_from_result(self, result: TraversalResult) -> list[StatusFact]:
+        """Merge every store's classifications into per-node facts."""
+        return self._facts_from_stores(result.graph, result.stores.values())
+
+    def _facts_from_stores(
+        self, graph: ExplorationGraph, stores: "Iterable[StatusStore]"
+    ) -> list[StatusFact]:
+        merged: dict[int, tuple[bool, bool]] = {}
+        for store in stores:
+            known = (store.alive_mask | store.dead_mask) & store.domain
+            for index in graph.bits(known):
+                alive = bool((store.alive_mask >> index) & 1)
+                evaluated = bool((store.evaluated_mask >> index) & 1)
+                previous = merged.get(index)
+                merged[index] = (
+                    alive,
+                    evaluated or (previous[1] if previous else False),
+                )
+        facts = []
+        for index, (alive, evaluated) in sorted(merged.items()):
+            node = graph.node(index)
+            facts.append(
+                StatusFact(
+                    node_key=query_cache_key(node.query, self.schema),
+                    relations=tuple(sorted(node.query.tree.relations())),
+                    alive=alive,
+                    evaluated=evaluated,
+                )
+            )
+        return facts
+
+    def _result_from_facts(
+        self,
+        graph: ExplorationGraph,
+        facts: tuple[StatusFact, ...],
+        strategy_name: str,
+    ) -> TraversalResult | None:
+        """Rebuild a complete traversal result from persisted facts.
+
+        Returns None when the facts cannot fully resolve the graph (a
+        defensive fallback -- an exact, complete run always can): the
+        caller then traverses cold instead of reporting partial output.
+        """
+        store = StatusStore(graph)
+        by_key = self._node_key_index(graph)
+        try:
+            for fact in facts:
+                for index in by_key.get(fact.node_key, []):
+                    if not store.is_known(index):
+                        store.record(index, fact.alive, evaluated=fact.evaluated)
+        except InconsistentStatusError:  # pragma: no cover - corrupt file
+            return None
+        result = TraversalResult(strategy_name, graph)
+        for mtn_index in graph.mtn_indexes:
+            status = store.status(mtn_index)
+            if status is Status.POSSIBLY_ALIVE:
+                return None
+            result.stores[mtn_index] = store
+            if status is Status.ALIVE:
+                result.alive_mtns.append(mtn_index)
+            else:
+                if store.unknown_mask & graph.desc_mask[mtn_index]:
+                    return None
+                result.dead_mtns.append(mtn_index)
+                result.mpans[mtn_index] = store.mpans_of(mtn_index)
+        result.alive_mtns.sort()
+        result.dead_mtns.sort()
+        return result
+
+    def preload_session_store(
+        self,
+        mapping: KeywordMapping,
+        graph: ExplorationGraph,
+        store: StatusStore,
+        tracer: ProbeTracer | None = None,
+    ) -> int:
+        """Seed an interactive session's store from persisted facts.
+
+        Exact facts load verbatim; stale ones arrive already repaired by
+        :meth:`StatusCache.load` and are replayed through
+        ``mark_alive``/``mark_dead``, so R1/R2 closure re-derives every
+        implication on the survivors.  The replay happens on a scratch
+        store first -- an inconsistency (corrupt file) discards the whole
+        preload instead of poisoning the session.  Returns the number of
+        nodes classified.
+        """
+        if self.status_cache is None:
+            return 0
+        load = self.status_cache.load(self.workload_key(mapping))
+        if load is None or not load.facts:
+            return 0
+        scratch = StatusStore(graph)
+        by_key = self._node_key_index(graph)
+        applied = 0
+        try:
+            for fact in load.facts:
+                for index in by_key.get(fact.node_key, []):
+                    if not scratch.is_known(index):
+                        scratch.record(index, fact.alive, evaluated=False)
+                        applied += 1
+            store.apply_delta(scratch.export_delta())
+        except InconsistentStatusError:  # pragma: no cover - corrupt file
+            return 0
+        active = tracer if tracer is not None else self.tracer
+        if active is not None:
+            active.record_event(
+                "status_preload",
+                workload_key=load.workload_key,
+                exact=load.exact,
+                applied=applied,
+                dropped=load.dropped,
+                directions=dict(load.directions),
+            )
+        return applied
 
     def debug(
         self,
@@ -369,6 +512,29 @@ class NonAnswerDebugger:
         report.graph = self.build_graph(report.pruned_lattices, constraints)
         timings.mtn_discovery = time.perf_counter() - started
 
+        # Exact repeat: the status cache holds a complete run of this very
+        # workload against byte-identical content, so Phase 3 is implied
+        # rather than recomputed -- zero probes, zero backend queries.
+        if self.status_cache is not None and constraints is UNCONSTRAINED:
+            load = self.status_cache.load(self.workload_key(mapping))
+            if load is not None and load.exact and load.complete:
+                started = time.perf_counter()
+                rebuilt = self._result_from_facts(
+                    report.graph, load.facts, chosen.name
+                )
+                if rebuilt is not None:
+                    rebuilt.elapsed = time.perf_counter() - started
+                    report.traversal = rebuilt
+                    timings.traversal = rebuilt.elapsed
+                    if self.tracer is not None:
+                        self.tracer.record_event(
+                            "phase3_skipped",
+                            workload_key=load.workload_key,
+                            strategy=chosen.name,
+                            facts=len(load.facts),
+                        )
+                    return report
+
         if processes > 1 and chosen.name in SHARDABLE_STRATEGIES:
             from repro.parallel import ShardedLatticeExecutor
 
@@ -386,6 +552,7 @@ class NonAnswerDebugger:
                 coordinator_backend=self.backend,
             )
             timings.traversal = time.perf_counter() - started
+            self._maybe_save_status(mapping, report, constraints)
             return report
 
         if evaluator is None:
@@ -406,9 +573,95 @@ class NonAnswerDebugger:
             if owned_executor is not None:
                 owned_executor.close()
         timings.traversal = time.perf_counter() - started
+        self._maybe_save_status(mapping, report, constraints)
         return report
 
+    def _maybe_save_status(
+        self,
+        mapping: KeywordMapping,
+        report: DebugReport,
+        constraints: SearchConstraints,
+    ) -> None:
+        """Persist a finished run's classifications for later repeats.
+
+        Only complete, unconstrained runs are saved: an exhausted sweep
+        may have unresolved search spaces and a constrained one explores
+        a different graph, so neither licenses a future Phase-3 skip.
+        """
+        if (
+            self.status_cache is None
+            or constraints is not UNCONSTRAINED
+            or report.traversal is None
+            or report.traversal.exhausted
+        ):
+            return
+        facts = self._facts_from_result(report.traversal)
+        if facts:
+            self.status_cache.save(self.workload_key(mapping), facts, complete=True)
+
+    def _store_resolves_graph(
+        self, graph: ExplorationGraph, store: StatusStore
+    ) -> bool:
+        """True when ``store`` fully classifies MTNs and dead cones."""
+        for mtn_index in graph.mtn_indexes:
+            status = store.status(mtn_index)
+            if status is Status.POSSIBLY_ALIVE:
+                return False
+            if status is Status.DEAD and (
+                store.unknown_mask & graph.desc_mask[mtn_index]
+            ):
+                return False
+        return True
+
+    def save_session_status(
+        self,
+        mapping: KeywordMapping,
+        graph: ExplorationGraph,
+        store: StatusStore,
+        exhausted: bool = False,
+    ) -> None:
+        """Persist an interactive session's accumulated classifications.
+
+        Partial knowledge is saved too (it preloads the next session);
+        only a store that fully resolves every candidate network is
+        marked *complete*, which is what licenses a later exact repeat
+        to skip Phase 3 outright.
+        """
+        if self.status_cache is None:
+            return
+        facts = self._facts_from_stores(graph, [store])
+        if not facts:
+            return
+        complete = not exhausted and self._store_resolves_graph(graph, store)
+        self.status_cache.save(
+            self.workload_key(mapping), facts, complete=complete
+        )
+
     # ------------------------------------------------------------ utilities
+    def refresh_after_mutation(self) -> None:
+        """Rebuild the snapshot-bound pieces after the database changed.
+
+        The inverted index, keyword mapper, and backend all read the
+        dataset at construction time; a :meth:`Table.insert`/``delete``
+        leaves them stale, so mutating callers must refresh before the
+        next query.  The probe cache is *repaired* in place (monotone
+        survivors re-keyed to the new fingerprints), not reopened, and
+        the status cache needs nothing -- it repairs at load time.
+        """
+        self.index = InvertedIndex(self.database)
+        self.mapper = KeywordMapper(
+            self.index, mode=self.mode, max_interpretations=self._max_interpretations
+        )
+        closer = getattr(self.backend, "close", None)
+        if closer is not None:
+            closer()
+        options = dict(self.backend_factory_options)
+        options["tuple_set_provider"] = self.index.provider
+        self.backend_factory_options = options
+        self.backend = create_backend(self.backend_name, self.database, **options)
+        if self.probe_cache is not None:
+            self.probe_cache.refresh(self.tracer)
+
     def close(self) -> None:
         """Release backend resources (connection pool, probe cache).
 
@@ -433,6 +686,8 @@ class NonAnswerDebugger:
             closer()
         if self.probe_cache is not None:
             self.probe_cache.close()
+        if self.status_cache is not None:
+            self.status_cache.close()
 
     def __enter__(self) -> "NonAnswerDebugger":
         return self

@@ -89,6 +89,12 @@ class DebugSession:
         )
         self.store = StatusStore(self.graph)
         seed_base_levels(self.graph, self.store, debugger.database)
+        # Warm start: replay persisted classification facts (exact or
+        # monotonically repaired after a mutation) through R1/R2 closure,
+        # so previously learned statuses cost zero SQL this session.
+        self.preloaded = debugger.preload_session_store(
+            self.mapping, self.graph, self.store, tracer=tracer
+        )
         self._dismissed: set[int] = set()
         self._explained: dict[int, list[int]] = {}
         # Flipped when the budget refuses a probe; every action after that
@@ -209,4 +215,9 @@ class DebugSession:
                 and mtn_index in self._explained
             ):
                 explanations[position] = mpans
+        # Persist what this session learned (complete or not): the next
+        # session over byte-identical content preloads it for free.
+        self.debugger.save_session_status(
+            self.mapping, self.graph, self.store, exhausted=self.exhausted
+        )
         return explanations

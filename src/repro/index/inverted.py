@@ -64,7 +64,10 @@ class InvertedIndex:
         return iter(self._postings)
 
     def _matching_tokens(self, keyword: str, mode: MatchMode) -> list[str]:
-        needle = keyword.lower()
+        # casefold, not lower: the index tokens are casefolded by
+        # tokenize(), so a lookup normalized any other way ("STRASSE" vs
+        # an indexed "straße" -> "strasse") would silently miss.
+        needle = keyword.casefold()
         if mode is MatchMode.TOKEN:
             return [needle] if needle in self._postings else []
         return [token for token in self._postings if needle in token]

@@ -179,37 +179,66 @@ def _check_segment(
             )
 
 
+#: Budget axes a ``shard_plan`` event must justify: (parent attr, shard
+#: attr, summing tolerance).  The float tolerance absorbs the rounding
+#: of an even time split re-summed across shards.
+_SHARD_PLAN_AXES: tuple[tuple[str, str, float], ...] = (
+    ("parent_max_queries", "shard_max_queries", 0.0),
+    ("parent_max_simulated_seconds", "shard_max_simulated_seconds", 1e-9),
+    ("parent_max_wall_seconds", "shard_max_wall_seconds", 1e-9),
+)
+
+
 def _check_shard_plans(
     records: list[dict[str, Any]], violations: list[InvariantViolation]
 ) -> None:
-    """Per-shard budget carvings must stay within the parent cap."""
+    """Per-shard budget carvings must stay within the parent cap.
+
+    Checked independently for every capped axis -- queries, simulated
+    seconds, and wall seconds: a parent cap with an uncapped shard, or
+    shard caps summing above the parent, means k shards could overspend
+    the caller's budget by up to k x.
+    """
     for record in records:
         if record.get("kind") != "event" or record.get("name") != "shard_plan":
             continue
-        parent = record.get("parent_max_queries")
-        caps = record.get("shard_max_queries")
-        if not isinstance(parent, int) or not isinstance(caps, list):
-            continue
-        uncapped = sum(1 for cap in caps if not isinstance(cap, int))
-        if uncapped:
-            violations.append(
-                InvariantViolation(
-                    "shard-plan-cap",
-                    record["seq"],
-                    f"{uncapped} shard(s) carry no query cap under a parent "
-                    f"budget of max_queries={parent}",
-                )
+        for parent_attr, shard_attr, tolerance in _SHARD_PLAN_AXES:
+            parent = record.get(parent_attr)
+            caps = record.get(shard_attr)
+            if (
+                isinstance(parent, bool)
+                or not isinstance(parent, (int, float))
+                or not isinstance(caps, list)
+            ):
+                continue
+            uncapped = sum(
+                1
+                for cap in caps
+                if isinstance(cap, bool) or not isinstance(cap, (int, float))
             )
-        total = sum(cap for cap in caps if isinstance(cap, int))
-        if total > parent:
-            violations.append(
-                InvariantViolation(
-                    "shard-plan-cap",
-                    record["seq"],
-                    f"per-shard caps sum to {total}, above the parent "
-                    f"budget's max_queries={parent}",
+            if uncapped:
+                violations.append(
+                    InvariantViolation(
+                        "shard-plan-cap",
+                        record["seq"],
+                        f"{uncapped} shard(s) carry no cap under a parent "
+                        f"budget of {parent_attr}={parent}",
+                    )
                 )
+            total = sum(
+                cap
+                for cap in caps
+                if not isinstance(cap, bool) and isinstance(cap, (int, float))
             )
+            if total > parent + tolerance:
+                violations.append(
+                    InvariantViolation(
+                        "shard-plan-cap",
+                        record["seq"],
+                        f"per-shard caps sum to {total}, above the parent "
+                        f"budget's {parent_attr}={parent}",
+                    )
+                )
 
 
 def _check_pool_events(

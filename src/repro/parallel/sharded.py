@@ -363,7 +363,15 @@ class ShardedLatticeExecutor:
                 parent_max_queries=(
                     budget.max_queries if budget is not None else None
                 ),
+                parent_max_simulated_seconds=(
+                    budget.max_simulated_seconds if budget is not None else None
+                ),
+                parent_max_wall_seconds=(
+                    budget.max_wall_seconds if budget is not None else None
+                ),
                 shard_max_queries=[cap[0] for cap in caps],
+                shard_max_simulated_seconds=[cap[1] for cap in caps],
+                shard_max_wall_seconds=[cap[2] for cap in caps],
                 shard_nodes=[shard.node_count for shard in shards],
                 shard_mtns=[shard.mtn_count for shard in shards],
             )

@@ -49,11 +49,11 @@ class InMemoryEngine:
         """Row ids of ``relation`` whose text attributes match ``keyword``.
 
         Matching is case-insensitive, so the keyword is normalized *before*
-        the provider call: the cache is keyed by the lowercased keyword, and
+        the provider call: the cache is keyed by the casefolded keyword, and
         forwarding the original case would make a case-sensitive provider's
         answers first-caller-wins inconsistent across mixed-case lookups.
         """
-        needle = keyword.lower()
+        needle = keyword.casefold()
         key = (relation, needle, mode)
         cached = self._scan_cache.get(key)
         if cached is not None:

@@ -22,7 +22,7 @@ class MatchMode(enum.Enum):
     """How a keyword matches a text cell."""
 
     TOKEN = "token"
-    """Whole-token match after lowercasing and splitting on non-alphanumerics.
+    """Whole-token match after casefolding and splitting on non-alphanumerics.
 
     Matches the behaviour of the inverted index and is the default.
     """
@@ -32,24 +32,27 @@ class MatchMode(enum.Enum):
 
 
 def tokenize(text: str) -> list[str]:
-    """Lowercased alphanumeric tokens of ``text``.
+    """Casefolded alphanumeric tokens of ``text``.
 
     This is the single tokenizer shared by the inverted index, the predicates
     and the dataset generators, so all components agree on what a keyword is.
+    ``str.casefold()``, not ``str.lower()``: full Unicode case folding is
+    what makes "STRASSE" and "straße" the same token ("strasse"), where
+    lowercasing leaves the latter as "straße" and the two never meet.
     """
-    return _TOKEN_PATTERN.findall(text.lower())
+    return _TOKEN_PATTERN.findall(text.casefold())
 
 
 @lru_cache(maxsize=4096)
 def _normalized(keyword: str) -> str:
-    return keyword.lower()
+    return keyword.casefold()
 
 
 def cell_matches(keyword: str, text: str, mode: MatchMode) -> bool:
     """True if ``keyword`` matches one text cell under ``mode``."""
     needle = _normalized(keyword)
     if mode is MatchMode.SUBSTRING:
-        return needle in text.lower()
+        return needle in text.casefold()
     return needle in tokenize(text)
 
 
@@ -78,11 +81,13 @@ class KeywordPredicate:
     def sql_condition(self, alias: str, columns: tuple[str, ...]) -> str:
         """Render the disjunction as a SQL condition for ``alias``.
 
-        Token mode renders to the same LIKE pattern wrapped with delimiters is
-        not expressible portably, so token mode is rendered via LIKE with the
-        keyword padded by word boundaries emulated in the sqlite backend by a
-        registered ``TOKEN_MATCH`` function; substring mode renders to plain
-        ``LIKE '%kw%'``.
+        Both modes render through SQL functions the sqlite backend
+        registers (``TOKEN_MATCH``, ``SUBSTRING_MATCH``) that delegate to
+        :func:`cell_matches`, so the Python engine and the SQL backend
+        share one matching semantics -- including Unicode case folding,
+        which sqlite's ASCII-only ``LOWER()``/``LIKE`` cannot express
+        (the paper's ``LIKE '%kw%'`` form survives in spirit as the
+        substring semantics of :func:`cell_matches`).
         """
         if not columns:
             return "0 = 1"
@@ -91,14 +96,11 @@ class KeywordPredicate:
         escaped = self.keyword.replace("'", "''")
         quoted_alias = quote_identifier(alias)
         quoted = [quote_identifier(column) for column in columns]
-        if self.mode is MatchMode.SUBSTRING:
-            parts = [
-                f"LOWER({quoted_alias}.{column}) LIKE '%{escaped.lower()}%'"
-                for column in quoted
-            ]
-        else:
-            parts = [
-                f"TOKEN_MATCH('{escaped.lower()}', {quoted_alias}.{column})"
-                for column in quoted
-            ]
+        function = (
+            "SUBSTRING_MATCH" if self.mode is MatchMode.SUBSTRING else "TOKEN_MATCH"
+        )
+        parts = [
+            f"{function}('{escaped.casefold()}', {quoted_alias}.{column})"
+            for column in quoted
+        ]
         return "(" + " OR ".join(parts) + ")"

@@ -45,6 +45,18 @@ def _token_match(keyword: str, text: Any) -> int:
     return 1 if cell_matches(keyword, text, MatchMode.TOKEN) else 0
 
 
+def _substring_match(keyword: str, text: Any) -> int:
+    """SQL function backing substring predicates (`SUBSTRING_MATCH(kw, col)`).
+
+    Delegates to the same :func:`cell_matches` the in-memory engine uses
+    so both backends casefold identically; sqlite's own ``LOWER()`` is
+    ASCII-only and would diverge on keywords like "straße".
+    """
+    if text is None or not isinstance(text, str):
+        return 0
+    return 1 if cell_matches(keyword, text, MatchMode.SUBSTRING) else 0
+
+
 class SqliteEngine:
     """Mirror of a :class:`Database` inside an in-process sqlite3 instance."""
 
@@ -80,6 +92,7 @@ class SqliteEngine:
             self._uri, uri=True, check_same_thread=False
         )
         connection.create_function("TOKEN_MATCH", 2, _token_match)
+        connection.create_function("SUBSTRING_MATCH", 2, _substring_match)
         return connection
 
     @property

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.relational.schema import Attribute, AttributeType, Relation
@@ -46,6 +47,16 @@ class Table:
         self.relation = relation
         self._rows: list[Row] = []
         self._indexes: dict[str, dict[Any, list[int]]] = {}
+        # Memoized content digest: None while dirty, recomputed lazily by
+        # :meth:`fingerprint`.  ``digest_computations`` counts the actual
+        # rehashes (the regression tests assert one insert rehashes only
+        # the mutated table); the lifetime insert/delete counters feed
+        # :class:`~repro.relational.database.DatabaseDelta` direction
+        # inference and are *not* part of the content digest.
+        self._digest: str | None = None
+        self.digest_computations = 0
+        self.inserts_total = 0
+        self.deletes_total = 0
         self.extend(rows)
 
     # ----------------------------------------------------------- mutation
@@ -61,9 +72,36 @@ class Table:
             _check_value(attribute, value)
             for attribute, value in zip(attributes, row)
         )
+        # Invalidate the digest memo on *both* sides of the list append: a
+        # concurrent fingerprint() may memoize a pre-append digest between
+        # the two clears, and the trailing clear discards it, so any
+        # fingerprint() started after insert() returns sees the new row.
+        self._digest = None
         self._rows.append(checked)
         self._indexes.clear()
+        self._digest = None
+        self.inserts_total += 1
         return len(self._rows) - 1
+
+    def delete(self, row_id: int) -> Row:
+        """Remove and return the row at position ``row_id``.
+
+        Positions of later rows shift down, so any structure keyed by row
+        id (inverted index postings, cached tuple sets) is stale after a
+        delete -- sessions over a mutated database must rebuild them
+        (:meth:`~repro.core.debugger.NonAnswerDebugger.refresh_after_mutation`).
+        """
+        if not 0 <= row_id < len(self._rows):
+            raise TableError(
+                f"relation {self.relation.name!r} has {len(self._rows)} rows, "
+                f"no row {row_id}"
+            )
+        self._digest = None
+        removed = self._rows.pop(row_id)
+        self._indexes.clear()
+        self._digest = None
+        self.deletes_total += 1
+        return removed
 
     def insert_dict(self, values: dict[str, Any]) -> int:
         """Append one row given as a ``{column: value}`` mapping.
@@ -140,6 +178,28 @@ class Table:
             value = row[self.relation.index_of(attribute.name)]
             if value is not None:
                 yield attribute.name, value
+
+    # --------------------------------------------------------- fingerprint
+    def fingerprint(self) -> str:
+        """Memoized content hash of this table's rows (hex, stable).
+
+        Two tables of the same relation holding the same rows in the same
+        order share a fingerprint regardless of how they were built; any
+        :meth:`insert` or :meth:`delete` invalidates the memo, so the
+        rehash cost is paid once per mutation burst instead of once per
+        call.  The lifetime mutation counters are deliberately excluded:
+        identity tracks *content*, the counters only witness direction.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(
+                f"T{self.relation.name}:{len(self._rows)}".encode("utf-8")
+            )
+            for row in self._rows:
+                hasher.update(repr(row).encode("utf-8"))
+            self._digest = hasher.hexdigest()
+            self.digest_computations += 1
+        return self._digest
 
     def validate_foreign_key(
         self, column: str, parent: "Table", parent_column: str

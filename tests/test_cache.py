@@ -1,4 +1,4 @@
-"""Tests for the persistent two-tier probe cache (fingerprint, store, L2)."""
+"""Tests for the persistent two-tier probe cache (identity, repair, L2)."""
 
 from __future__ import annotations
 
@@ -6,13 +6,21 @@ import threading
 
 import pytest
 
-from repro.cache import ProbeCache, ProbeCacheError, clear_cache_dir, inspect_cache_dir
+from repro.cache import (
+    STATUS_CACHE_FILENAME,
+    ProbeCache,
+    ProbeCacheError,
+    clear_cache_dir,
+    inspect_cache_dir,
+)
 from repro.cache.keys import query_cache_key
 from repro.core.debugger import NonAnswerDebugger
 from repro.core.session import DebugSession
 from repro.datasets.products import product_database
 from repro.obs import ProbeBudget, ProbeTracer
 from repro.relational.evaluator import InstrumentedEvaluator
+from repro.relational.jointree import BoundQuery, JoinTree, RelationInstance
+from repro.relational.predicates import MatchMode
 
 
 @pytest.fixture()
@@ -20,6 +28,13 @@ def products_probes(products_debugger):
     mapping = products_debugger.map_keywords("saffron scented candle")
     graph = products_debugger.build_graph(products_debugger.prune(mapping))
     return [graph.node(index).query for index in range(len(graph))]
+
+
+def single_relation_probe(relation: str, keyword: str) -> BoundQuery:
+    """A one-node bound query: enough identity for cache-policy tests."""
+    instance = RelationInstance(relation, 1)
+    tree = JoinTree.single(instance)
+    return BoundQuery.from_mapping(tree, {instance: keyword}, MatchMode.TOKEN)
 
 
 class CountingBackend:
@@ -80,11 +95,10 @@ class TestQueryCacheKey:
 
 # -------------------------------------------------------------------- store
 class TestProbeCache:
-    def test_roundtrip_and_persistence(self, tmp_path, products_db, products_probes):
-        schema = products_db.schema
-        fingerprint = products_db.fingerprint()
+    def test_roundtrip_and_persistence(self, tmp_path, products_probes):
+        database = product_database()
         probe = products_probes[0]
-        with ProbeCache.open_dir(tmp_path, schema, fingerprint) as cache:
+        with ProbeCache.open_dir(tmp_path, database) as cache:
             assert cache.get(probe) is None
             cache.put(probe, True)
             assert cache.get(probe) is True
@@ -93,26 +107,15 @@ class TestProbeCache:
             assert len(cache) == 1
             stats = cache.stats()
             assert stats.hits == 2 and stats.misses == 1 and stats.writes == 2
+            assert stats.composite == database.fingerprint()
         # A fresh process sees the same answers.
-        with ProbeCache.open_dir(tmp_path, schema, fingerprint) as reopened:
+        with ProbeCache.open_dir(tmp_path, database) as reopened:
             assert reopened.get(probe) is False
             assert len(reopened) == 1
+            assert not reopened.last_repair.changed
 
-    def test_stale_fingerprint_evicted_on_attach(
-        self, tmp_path, products_db, products_probes
-    ):
-        schema = products_db.schema
-        probe = products_probes[0]
-        with ProbeCache.open_dir(tmp_path, schema, "fp-old") as cache:
-            cache.put(probe, True)
-        with ProbeCache.open_dir(tmp_path, schema, "fp-new") as cache:
-            assert cache.stale_evicted == 1
-            assert cache.get(probe) is None
-            assert len(cache) == 0
-
-    def test_clear_and_closed_errors(self, tmp_path, products_db, products_probes):
-        schema = products_db.schema
-        cache = ProbeCache.open_dir(tmp_path, schema, "fp")
+    def test_clear_and_closed_errors(self, tmp_path, products_probes):
+        cache = ProbeCache.open_dir(tmp_path, product_database())
         cache.put(products_probes[0], True)
         assert cache.clear() == 1
         assert len(cache) == 0
@@ -121,19 +124,165 @@ class TestProbeCache:
         with pytest.raises(ProbeCacheError, match="closed"):
             cache.get(products_probes[0])
 
-    def test_dir_level_inspect_and_clear(
-        self, tmp_path, products_db, products_probes
-    ):
+    def test_dir_level_inspect_and_clear(self, tmp_path, products_probes):
         assert inspect_cache_dir(tmp_path)["exists"] is False
         assert clear_cache_dir(tmp_path) == 0
-        with ProbeCache.open_dir(tmp_path, products_db.schema, "fp") as cache:
+        with ProbeCache.open_dir(tmp_path, product_database()) as cache:
             cache.put(products_probes[0], True)
             cache.put(products_probes[1], False)
         info = inspect_cache_dir(tmp_path)
         assert info["exists"] and info["entries"] == 2
-        assert info["fingerprints"]["fp"] == {"entries": 2, "alive": 1}
+        assert sum(v["entries"] for v in info["vectors"].values()) == 2
+        assert sum(v["alive"] for v in info["vectors"].values()) == 1
+        for entry in info["vectors"].values():
+            assert entry["relations"]  # the join path is recorded per row
         assert clear_cache_dir(tmp_path) == 2
         assert inspect_cache_dir(tmp_path)["entries"] == 0
+
+
+# ------------------------------------------------------------------ repair
+class TestMonotoneRepair:
+    """Attach-time repair: survivors and evictions per delta direction."""
+
+    def seed(self, tmp_path, database):
+        """Four rows: alive/dead through Item, alive/dead avoiding Item."""
+        probes = {
+            "item_alive": single_relation_probe("Item", "saffron"),
+            "item_dead": single_relation_probe("Item", "zzz-absent"),
+            "other_alive": single_relation_probe("ProductType", "candle"),
+            "other_dead": single_relation_probe("ProductType", "zzz-absent"),
+        }
+        with ProbeCache.open_dir(tmp_path, database) as cache:
+            for name, probe in probes.items():
+                cache.put(probe, name.endswith("alive"))
+        return probes
+
+    def test_insert_only_delta_keeps_alive_rows(self, tmp_path):
+        database = product_database()
+        probes = self.seed(tmp_path, database)
+        database.insert("Item", list(database.table("Item"))[0])
+        with ProbeCache.open_dir(tmp_path, database) as cache:
+            report = cache.last_repair
+            assert report.changed
+            assert dict(report.directions) == {"Item": "insert_only"}
+            assert report.repaired == 1 and report.evicted == 1
+            # Alive through the mutated relation: monotone, survives.
+            assert cache.get(probes["item_alive"]) is True
+            # Dead through it: an insert may have revived it -> evicted.
+            assert cache.get(probes["item_dead"]) is None
+            # Probes avoiding the mutated relation keep their key: warm.
+            assert cache.get(probes["other_alive"]) is True
+            assert cache.get(probes["other_dead"]) is False
+
+    def test_delete_only_delta_keeps_dead_rows(self, tmp_path):
+        database = product_database()
+        probes = self.seed(tmp_path, database)
+        database.delete("Item", 0)
+        with ProbeCache.open_dir(tmp_path, database) as cache:
+            report = cache.last_repair
+            assert dict(report.directions) == {"Item": "delete_only"}
+            # Dead through the mutated relation: a delete cannot revive.
+            assert cache.get(probes["item_dead"]) is False
+            # Alive through it: its witness may be gone -> evicted.
+            assert cache.get(probes["item_alive"]) is None
+            assert cache.get(probes["other_alive"]) is True
+            assert cache.get(probes["other_dead"]) is False
+
+    def test_mixed_delta_evicts_both_polarities(self, tmp_path):
+        database = product_database()
+        probes = self.seed(tmp_path, database)
+        database.insert("Item", list(database.table("Item"))[0])
+        database.delete("Item", 0)
+        # Counters moved on both axes and content differs (the deleted
+        # row is not the inserted one): direction is mixed.
+        with ProbeCache.open_dir(tmp_path, database) as cache:
+            assert dict(cache.last_repair.directions) == {"Item": "mixed"}
+            assert cache.get(probes["item_alive"]) is None
+            assert cache.get(probes["item_dead"]) is None
+            assert cache.get(probes["other_alive"]) is True
+            assert cache.get(probes["other_dead"]) is False
+
+    def test_foreign_lineage_mutation_downgrades_to_mixed(self, tmp_path):
+        probes = self.seed(tmp_path, product_database())
+        # A *rebuilt* database with one extra row: the counters are not
+        # comparable (fresh lineage), so even a pure insert is treated
+        # as mixed and both Item polarities are evicted.
+        rebuilt = product_database()
+        rebuilt.insert("Item", list(rebuilt.table("Item"))[0])
+        with ProbeCache.open_dir(tmp_path, rebuilt) as cache:
+            assert dict(cache.last_repair.directions) == {"Item": "mixed"}
+            assert cache.get(probes["item_alive"]) is None
+            assert cache.get(probes["item_dead"]) is None
+            assert cache.get(probes["other_alive"]) is True
+            assert cache.get(probes["other_dead"]) is False
+
+    def test_identical_rebuild_stays_fully_warm(self, tmp_path):
+        probes = self.seed(tmp_path, product_database())
+        # Identical content under a fresh lineage: composite matches, no
+        # repair runs, and every row (both polarities) answers.
+        with ProbeCache.open_dir(tmp_path, product_database()) as cache:
+            assert not cache.last_repair.changed
+            assert cache.last_repair.repaired == 0
+            assert cache.get(probes["item_alive"]) is True
+            assert cache.get(probes["item_dead"]) is False
+
+    def test_in_session_refresh_repairs_without_reopen(self, tmp_path):
+        database = product_database()
+        probe_alive = single_relation_probe("Item", "saffron")
+        probe_dead = single_relation_probe("Item", "zzz-absent")
+        with ProbeCache.open_dir(tmp_path, database) as cache:
+            cache.put(probe_alive, True)
+            cache.put(probe_dead, False)
+            database.insert("Item", list(database.table("Item"))[0])
+            # Reads key on live fingerprints: stale rows are invisible
+            # (missed) even before any repair runs.
+            assert cache.get(probe_alive) is None
+            report = cache.refresh()
+            assert dict(report.directions) == {"Item": "insert_only"}
+            assert cache.get(probe_alive) is True
+            assert cache.get(probe_dead) is None
+
+    def test_concurrent_mutation_never_serves_stale_dead(self, tmp_path):
+        """Two threads -- one inserts, one probes -- across a repair.
+
+        After the insert is visible (Event ordering), a get for a dead
+        probe through the mutated relation must never answer ``False``
+        again: first it misses (new vector), after repair it stays
+        evicted.  The alive probe may miss mid-window but must never
+        flip and ends up repaired back to ``True``.
+        """
+        database = product_database()
+        probe_alive = single_relation_probe("Item", "saffron")
+        probe_dead = single_relation_probe("Item", "zzz-absent")
+        mutated = threading.Event()
+        done = threading.Event()
+        violations = []
+        with ProbeCache.open_dir(tmp_path, database) as cache:
+            cache.put(probe_alive, True)
+            cache.put(probe_dead, False)
+
+            def prober():
+                while not done.is_set():
+                    after = mutated.is_set()
+                    dead_value = cache.get(probe_dead)
+                    alive_value = cache.get(probe_alive)
+                    if after and dead_value is False:
+                        violations.append("stale dead served after insert")
+                    if alive_value is False:
+                        violations.append("alive row flipped")
+
+            thread = threading.Thread(target=prober)
+            thread.start()
+            try:
+                database.insert("Item", list(database.table("Item"))[0])
+                mutated.set()
+                cache.refresh()
+            finally:
+                done.set()
+                thread.join()
+            assert violations == []
+            assert cache.get(probe_alive) is True
+            assert cache.get(probe_dead) is None
 
 
 # ----------------------------------------------------------- evaluator tiers
@@ -145,10 +294,8 @@ class TestEvaluatorTiers:
         )
         return backend, evaluator
 
-    def test_l1_then_l2_then_backend(self, tmp_path, products_db, products_debugger, products_probes):
-        cache = ProbeCache.open_dir(
-            tmp_path, products_db.schema, products_db.fingerprint()
-        )
+    def test_l1_then_l2_then_backend(self, tmp_path, products_debugger, products_probes):
+        cache = ProbeCache.open_dir(tmp_path, product_database())
         tracer = ProbeTracer()
         backend, cold = self.make(products_debugger, cache, tracer)
         probe = products_probes[0]
@@ -175,11 +322,9 @@ class TestEvaluatorTiers:
         cache.close()
 
     def test_l2_hits_are_budget_free(
-        self, tmp_path, products_db, products_debugger, products_probes
+        self, tmp_path, products_debugger, products_probes
     ):
-        cache = ProbeCache.open_dir(
-            tmp_path, products_db.schema, products_db.fingerprint()
-        )
+        cache = ProbeCache.open_dir(tmp_path, product_database())
         for probe in products_probes:
             cache.put(probe, products_debugger.backend.is_alive(probe))
         budget = ProbeBudget(max_queries=1)
@@ -204,13 +349,11 @@ class TestEvaluatorTiers:
         assert store.gets == [] and store.puts == []
 
     def test_trace_spans_validate_with_cache_tier(
-        self, tmp_path, products_db, products_debugger, products_probes
+        self, tmp_path, products_debugger, products_probes
     ):
         from repro.obs import validate_trace_record
 
-        cache = ProbeCache.open_dir(
-            tmp_path, products_db.schema, products_db.fingerprint()
-        )
+        cache = ProbeCache.open_dir(tmp_path, product_database())
         tracer = ProbeTracer()
         _, evaluator = self.make(products_debugger, cache, tracer)
         evaluator.is_alive(products_probes[0])
@@ -226,7 +369,7 @@ class TestEvaluatorTiers:
 class TestWarmStart:
     QUERY = "saffron scented candle"
 
-    def test_second_debugger_session_executes_zero_queries(self, tmp_path):
+    def test_exact_repeat_skips_phase3_entirely(self, tmp_path):
         cache_dir = tmp_path / "probe-cache"
         with NonAnswerDebugger(
             product_database(), max_joins=2, cache_dir=cache_dir
@@ -239,8 +382,10 @@ class TestWarmStart:
         ) as warm:
             warm_report = warm.debug(self.QUERY)
         stats = warm_report.traversal.stats
+        # Phase 3 was *skipped*, not replayed: no probes at all, so no
+        # backend queries and no cache traffic either.
         assert stats.queries_executed == 0
-        assert stats.l2_hits > 0
+        assert stats.l2_hits == 0 and stats.l1_hits == 0
         assert (
             warm_report.traversal.classification_signature()
             == cold_report.traversal.classification_signature()
@@ -256,7 +401,57 @@ class TestWarmStart:
             for _, mpans in cold_report.explanations()
         ]
 
-    def test_mutated_dataset_invalidates_the_cache(self, tmp_path):
+    def test_second_session_answers_from_l2(self, tmp_path):
+        cache_dir = tmp_path / "probe-cache"
+        with NonAnswerDebugger(
+            product_database(), max_joins=2, cache_dir=cache_dir
+        ) as cold:
+            cold_report = cold.debug(self.QUERY)
+        # Without the status store the skip is off the table; the L2
+        # probe tier must carry the whole warm run by itself.
+        (cache_dir / STATUS_CACHE_FILENAME).unlink()
+        with NonAnswerDebugger(
+            product_database(), max_joins=2, cache_dir=cache_dir
+        ) as warm:
+            warm_report = warm.debug(self.QUERY)
+        stats = warm_report.traversal.stats
+        assert stats.queries_executed == 0
+        assert stats.l2_hits > 0
+        assert (
+            warm_report.traversal.classification_signature()
+            == cold_report.traversal.classification_signature()
+        )
+
+    def test_insert_only_mutation_repairs_instead_of_evicting(self, tmp_path):
+        cache_dir = tmp_path / "probe-cache"
+        database = product_database()
+        with NonAnswerDebugger(
+            database, max_joins=2, cache_dir=cache_dir
+        ) as cold:
+            cold_report = cold.debug(self.QUERY)
+        cold_executed = cold_report.traversal.stats.queries_executed
+        assert cold_executed > 0
+
+        # Duplicate an existing Item row on the *live* database: content
+        # changes (fingerprint counts rows) but no probe's truth does.
+        database.insert("Item", list(database.table("Item"))[0])
+
+        with NonAnswerDebugger(
+            database, max_joins=2, cache_dir=cache_dir
+        ) as warm:
+            report = warm.probe_cache.last_repair
+            assert dict(report.directions) == {"Item": "insert_only"}
+            assert report.repaired > 0
+            warm_report = warm.debug(self.QUERY)
+        stats = warm_report.traversal.stats
+        # Evicted dead-through-Item rows re-execute; survivors stay warm.
+        assert 0 < stats.queries_executed < cold_executed
+        assert (
+            warm_report.traversal.classification_signature()
+            == cold_report.traversal.classification_signature()
+        )
+
+    def test_cross_lineage_mutation_evicts_touching_probes(self, tmp_path):
         cache_dir = tmp_path / "probe-cache"
         with NonAnswerDebugger(
             product_database(), max_joins=2, cache_dir=cache_dir
@@ -264,18 +459,19 @@ class TestWarmStart:
             cold.debug(self.QUERY)
 
         mutated = product_database()
-        table = next(mutated.iter_tables())
-        mutated.insert(table.relation.name, list(table)[0])
+        mutated.insert("Item", list(mutated.table("Item"))[0])
         assert mutated.fingerprint() != product_database().fingerprint()
         with NonAnswerDebugger(
             mutated, max_joins=2, cache_dir=cache_dir
         ) as fresh:
-            assert fresh.probe_cache.stale_evicted > 0
-            report = fresh.debug(self.QUERY)
-        assert report.traversal.stats.queries_executed > 0
-        assert report.traversal.stats.l2_hits == 0
+            report = fresh.probe_cache.last_repair
+            # Rebuilt database: the insert cannot be proven insert-only.
+            assert report.directions.get("Item") == "mixed"
+            assert report.evicted > 0
+            fresh_report = fresh.debug(self.QUERY)
+        assert fresh_report.traversal.stats.queries_executed > 0
 
-    def test_debug_session_inherits_the_cache(self, tmp_path):
+    def test_debug_session_inherits_cache_and_status(self, tmp_path):
         cache_dir = tmp_path / "probe-cache"
         with NonAnswerDebugger(
             product_database(), max_joins=2, cache_dir=cache_dir
@@ -286,12 +482,14 @@ class TestWarmStart:
             product_database(), max_joins=2, cache_dir=cache_dir
         ) as warm:
             warm_session = DebugSession(warm, self.QUERY)
+            # The persisted StatusStore pre-classifies the whole graph.
+            assert warm_session.preloaded > 0
             warm_session.explain_all()
             assert warm_session.evaluator.stats.queries_executed == 0
-            assert warm_session.evaluator.stats.l2_hits > 0
 
     def test_debugger_without_cache_dir_has_no_store(self, products_debugger):
         assert products_debugger.probe_cache is None
+        assert products_debugger.status_cache is None
         assert products_debugger.make_evaluator().probe_cache is None
 
 
@@ -313,3 +511,20 @@ class TestCacheBench:
         assert payload["query_speedup"] >= payload["speedup_gate"]
         assert payload["passed"]
         assert "sbh" in table.render()
+
+    def test_mutate_bench_smoke(self, tmp_path):
+        from repro.bench.context import BenchContext
+        from repro.bench.mutate import run_mutate_bench
+
+        table, payload = run_mutate_bench(
+            BenchContext.create(),
+            level=3,
+            cache_dir=tmp_path,
+            latency=0.0,
+            strategies=("sbh",),
+        )
+        assert payload["signatures_match"]
+        assert payload["delta_insert_only"]
+        assert payload["warm_queries_total"] < payload["cold_queries_total"]
+        assert payload["repaired_total"] > 0
+        assert "Publication" in table.render()

@@ -49,6 +49,50 @@ class TestInvertedIndex:
         assert ids == {1}
 
 
+class TestCasefoldMatching:
+    """Regression: index and engine agree on full Unicode case folding.
+
+    ``"STRASSE".lower()`` happens to match the casefolded "strasse" token,
+    but ``"straße".lower()`` does not -- only ``str.casefold()`` makes the
+    uppercase spelling and the sharp-s spelling meet.  A row written one
+    way must be found by a keyword written the other way, through both the
+    inverted index and the engine's fallback table scan.
+    """
+
+    @pytest.fixture()
+    def database(self):
+        from repro.datasets.products import product_database
+
+        database = product_database()
+        database.insert("Color", (50, "STRASSE", "eszett"))
+        database.insert("Color", (51, "straße", "sharp s"))
+        return database
+
+    def test_index_folds_both_spellings_to_one_token(self, database):
+        index = InvertedIndex(database)
+        for keyword in ("straße", "STRASSE", "Strasse"):
+            assert "Color" in index.relations_containing(keyword), keyword
+            ids = index.tuple_set("Color", keyword)
+            assert len(ids) == 2, keyword
+
+    def test_engine_matches_via_index_and_via_scan(self, database):
+        from repro.relational.engine import InMemoryEngine
+        from repro.relational.jointree import BoundQuery, JoinTree, RelationInstance
+
+        instance = RelationInstance("Color", 1)
+        probe = BoundQuery.from_mapping(
+            JoinTree.single(instance), {instance: "straße"}, MatchMode.TOKEN
+        )
+        index = InvertedIndex(database)
+        with_index = InMemoryEngine(database, tuple_set_provider=index.provider)
+        scan_only = InMemoryEngine(database)
+        assert with_index.is_alive(probe)
+        assert scan_only.is_alive(probe)
+        assert with_index.tuple_set("Color", "STRASSE", MatchMode.TOKEN) == (
+            scan_only.tuple_set("Color", "STRASSE", MatchMode.TOKEN)
+        )
+
+
 class TestKeywordMapper:
     @pytest.fixture(scope="class")
     def mapper(self, products_index):

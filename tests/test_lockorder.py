@@ -166,11 +166,7 @@ class TestRealComponents:
         self, products_db, probes, tmp_path
     ):
         monitor = LockOrderMonitor()
-        cache = ProbeCache(
-            tmp_path / "probes.sqlite",
-            products_db.schema,
-            products_db.fingerprint(),
-        )
+        cache = ProbeCache(tmp_path / "probes.sqlite", products_db)
         with SqliteEngine(products_db, pool_size=3) as engine:
             monitor.instrument(engine._pool, "_available", "pool.available")
             monitor.instrument(engine._pool, "_lock", "pool.lock")

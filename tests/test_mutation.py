@@ -1,0 +1,182 @@
+"""Tests for per-relation identity: fingerprints, deltas, direction inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.products import product_database
+from repro.relational.database import (
+    DatabaseDelta,
+    DatabaseSnapshot,
+    MutationDirection,
+    RelationState,
+)
+from repro.relational.table import TableError
+
+
+# ----------------------------------------------------------- table identity
+class TestTableFingerprint:
+    def test_memoized_until_mutation(self):
+        database = product_database()
+        table = database.table("Item")
+        first = table.fingerprint()
+        assert table.fingerprint() == first
+        assert table.digest_computations == 1  # second call was the memo
+        table.insert(list(table)[0])
+        assert table.fingerprint() != first
+        assert table.digest_computations == 2
+
+    def test_one_insert_rehashes_only_the_mutated_table(self):
+        """The composite must not pay O(data) per mutation: untouched
+        tables keep their memoized digest across recomputes."""
+        database = product_database()
+        database.fingerprint()  # memoize every table once
+        before = {
+            table.relation.name: table.digest_computations
+            for table in database.iter_tables()
+        }
+        database.insert("Item", list(database.table("Item"))[0])
+        database.fingerprint()
+        after = {
+            table.relation.name: table.digest_computations
+            for table in database.iter_tables()
+        }
+        assert after["Item"] == before["Item"] + 1
+        for name in before:
+            if name != "Item":
+                assert after[name] == before[name], name
+
+    def test_content_identity_ignores_counters(self):
+        """Insert-then-delete of the same row restores the fingerprint:
+        identity tracks content, the counters only witness direction."""
+        database = product_database()
+        table = database.table("Item")
+        before = table.fingerprint()
+        row_id = table.insert(list(table)[0])
+        table.delete(row_id)
+        assert table.fingerprint() == before
+        assert table.inserts_total == len(table) + 1
+        assert table.deletes_total == 1
+
+    def test_delete_bounds_checked(self):
+        table = product_database().table("Item")
+        with pytest.raises(TableError, match="no row"):
+            table.delete(len(table))
+        removed = table.delete(0)
+        assert isinstance(removed, tuple)
+
+
+# ------------------------------------------------------------------ deltas
+def snapshot_of(database):
+    return database.snapshot()
+
+
+class TestDatabaseDelta:
+    def test_no_mutation_empty_delta(self):
+        database = product_database()
+        delta = DatabaseDelta.between(snapshot_of(database), snapshot_of(database))
+        assert delta.empty
+        assert delta.mutated_relations == frozenset()
+
+    def test_insert_only_direction(self):
+        database = product_database()
+        old = snapshot_of(database)
+        database.insert("Item", list(database.table("Item"))[0])
+        delta = DatabaseDelta.between(old, snapshot_of(database))
+        assert delta.direction_of("Item") is MutationDirection.INSERT_ONLY
+        assert delta.direction_of("Color") is None
+        assert delta.mutated_relations == frozenset({"Item"})
+
+    def test_delete_only_direction(self):
+        database = product_database()
+        old = snapshot_of(database)
+        database.delete("Item", 0)
+        delta = DatabaseDelta.between(old, snapshot_of(database))
+        assert delta.direction_of("Item") is MutationDirection.DELETE_ONLY
+
+    def test_interleaved_mutations_are_mixed(self):
+        database = product_database()
+        old = snapshot_of(database)
+        database.insert("Item", list(database.table("Item"))[0])
+        database.delete("Item", 0)
+        # Content differs (a different row was removed than inserted) and
+        # both counters moved: no single direction explains the change.
+        delta = DatabaseDelta.between(old, snapshot_of(database))
+        assert delta.direction_of("Item") is MutationDirection.MIXED
+
+    def test_restored_content_absent_even_with_moved_counters(self):
+        database = product_database()
+        old = snapshot_of(database)
+        row_id = database.table("Item").insert(list(database.table("Item"))[0])
+        database.delete("Item", row_id)
+        delta = DatabaseDelta.between(old, snapshot_of(database))
+        assert delta.empty
+
+    def test_cross_lineage_changes_downgrade_to_mixed(self):
+        """Counters from a rebuilt database are not comparable: even a
+        pure insert cannot be proven insert-only across lineages."""
+        first = product_database()
+        old = snapshot_of(first)
+        rebuilt = product_database()
+        rebuilt.insert("Item", list(rebuilt.table("Item"))[0])
+        assert old.lineage != rebuilt.snapshot().lineage
+        delta = DatabaseDelta.between(old, snapshot_of(rebuilt))
+        assert delta.direction_of("Item") is MutationDirection.MIXED
+
+    def test_identical_rebuild_has_empty_delta(self):
+        delta = DatabaseDelta.between(
+            snapshot_of(product_database()), snapshot_of(product_database())
+        )
+        assert delta.empty
+
+    def test_unknown_and_dropped_relations_are_mixed(self):
+        state = RelationState("R", "fp1", 1, 1, 0)
+        other = RelationState("S", "fp2", 1, 1, 0)
+        old = DatabaseSnapshot("c1", "lineage", (state,))
+        new = DatabaseSnapshot("c2", "lineage", (other,))
+        delta = DatabaseDelta.between(old, new)
+        # S appeared (unknown history) and R vanished: both are mixed.
+        assert delta.direction_of("S") is MutationDirection.MIXED
+        assert delta.direction_of("R") is MutationDirection.MIXED
+
+    def test_counter_regression_is_mixed(self):
+        """A lower insert counter under the same lineage (impossible for
+        a well-behaved Table, possible for a corrupt snapshot) must not
+        be read as delete-only."""
+        old = DatabaseSnapshot(
+            "c1", "lineage", (RelationState("R", "fp1", 5, 9, 0),)
+        )
+        new = DatabaseSnapshot(
+            "c2", "lineage", (RelationState("R", "fp2", 4, 7, 1),)
+        )
+        delta = DatabaseDelta.between(old, new)
+        assert delta.direction_of("R") is MutationDirection.MIXED
+
+
+# ------------------------------------------------------- composite identity
+class TestCompositeFingerprint:
+    def test_composite_covers_every_relation(self):
+        database = product_database()
+        before = database.fingerprint()
+        database.insert("Color", (99, "ultraviolet", "uv"))
+        after = database.fingerprint()
+        assert after != before
+        fps = database.relation_fingerprints()
+        assert set(fps) == set(database.schema.relations)
+
+    def test_snapshot_is_frozen_against_later_mutations(self):
+        database = product_database()
+        old = database.snapshot()
+        database.insert("Item", list(database.table("Item"))[0])
+        new = database.snapshot()
+        assert old.composite != new.composite
+        assert old.by_relation()["Item"].row_count + 1 == (
+            new.by_relation()["Item"].row_count
+        )
+
+    def test_database_delete_returns_row_and_updates_identity(self):
+        database = product_database()
+        before = database.fingerprint()
+        removed = database.delete("Item", 0)
+        assert isinstance(removed, tuple)
+        assert database.fingerprint() != before

@@ -52,8 +52,15 @@ class TestKeywordPredicate:
     def test_sql_condition_substring(self):
         predicate = KeywordPredicate("saffron", MatchMode.SUBSTRING)
         sql = predicate.sql_condition("item_1", ("name", "description"))
-        assert "LOWER(item_1.name) LIKE '%saffron%'" in sql
+        assert "SUBSTRING_MATCH('saffron', item_1.name)" in sql
         assert "OR" in sql
+
+    def test_sql_condition_casefolds_keyword(self):
+        predicate = KeywordPredicate("STRASSE", MatchMode.TOKEN)
+        sql = predicate.sql_condition("item_1", ("name",))
+        assert "TOKEN_MATCH('strasse', item_1.name)" in sql
+        folded = KeywordPredicate("straße", MatchMode.TOKEN)
+        assert folded.sql_condition("item_1", ("name",)) == sql
 
     def test_sql_condition_token(self):
         predicate = KeywordPredicate("saffron", MatchMode.TOKEN)

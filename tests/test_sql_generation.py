@@ -56,7 +56,7 @@ class TestRenderSql:
     def test_instantiated_query(self, schema, two_table_query):
         sql = render_sql(two_table_query, schema)
         assert sql.startswith("SELECT *")
-        assert "LIKE '%candle%'" in sql
+        assert "SUBSTRING_MATCH('candle'" in sql
         assert "producttype_2.name" in sql
 
     def test_existence_check_form(self, schema, two_table_query):
