@@ -96,7 +96,10 @@ def _memory_factory(database: "Database", **options: Any) -> AlivenessBackend:
     from repro.relational.engine import InMemoryEngine
 
     return InMemoryEngine(
-        database, tuple_set_provider=options.get("tuple_set_provider")
+        database,
+        tuple_set_provider=options.get("tuple_set_provider"),
+        streaming_source=options.get("streaming_source"),
+        materialization_cap=options.get("materialization_cap"),
     )
 
 
@@ -116,7 +119,10 @@ def _simulated_factory(database: "Database", **options: Any) -> AlivenessBackend
     from repro.relational.engine import InMemoryEngine
 
     inner = InMemoryEngine(
-        database, tuple_set_provider=options.get("tuple_set_provider")
+        database,
+        tuple_set_provider=options.get("tuple_set_provider"),
+        streaming_source=options.get("streaming_source"),
+        materialization_cap=options.get("materialization_cap"),
     )
     cost_model = options.get("cost_model")
     return SimulatedLatencyBackend(

@@ -18,7 +18,7 @@ feeds the ``simulated_time`` counter of the instrumentation.
 
 from __future__ import annotations
 
-from repro.index.inverted import InvertedIndex
+from repro.index.base import IndexBackend
 from repro.relational.database import Database
 from repro.relational.jointree import BoundQuery
 
@@ -29,7 +29,7 @@ class SimpleCostModel:
     def __init__(
         self,
         database: Database,
-        index: InvertedIndex,
+        index: IndexBackend,
         startup: float = 0.05,
         per_row: float = 2e-4,
         per_output: float = 1e-3,

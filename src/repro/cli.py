@@ -40,12 +40,23 @@ def _load_database(args: argparse.Namespace):
 
 def _add_backend_options(parser: argparse.ArgumentParser) -> None:
     from repro.backends import backend_names
+    from repro.index import index_backend_names
 
     parser.add_argument(
         "--backend",
         choices=backend_names(),
         default="memory",
         help="aliveness backend from the repro.backends registry",
+    )
+    parser.add_argument(
+        "--index-backend",
+        choices=index_backend_names(),
+        default="memory",
+        help=(
+            "inverted-index backend from the repro.index registry: memory "
+            "(dict, fastest) or sqlite (disk-backed, flat RAM, persisted "
+            "and repaired inside --cache-dir)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -122,6 +133,7 @@ def _cmd_debug(args: argparse.Namespace) -> int:
         free_copies=args.free_copies,
         backend=args.backend,
         cache_dir=args.cache_dir,
+        index_backend=args.index_backend,
     )
     started = time.perf_counter()
     report = debugger.debug(args.query, **_executor_kwargs(args))
@@ -278,6 +290,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         tracer=tracer,
         backend=args.backend,
         cache_dir=args.cache_dir,
+        index_backend=args.index_backend,
     )
     report = debugger.debug(args.query, budget=budget, **_executor_kwargs(args))
     debugger.close()
@@ -320,6 +333,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     context = BenchContext.create(scale=args.scale, seed=args.seed)
     if args.trace:
         context.tracer = ProbeTracer()
+    if args.experiment == "scale":
+        from repro.bench.scale import DEFAULT_TUPLE_TARGETS, run_scale_bench
+
+        targets = DEFAULT_TUPLE_TARGETS
+        if args.tuples:
+            targets = tuple(int(item) for item in args.tuples.split(","))
+        started = time.perf_counter()
+        table, payload = run_scale_bench(targets=targets, seed=args.seed)
+        print(table.render())
+        print(f"(ran in {time.perf_counter() - started:.1f} s)")
+        _write_bench_json(args, payload)
+        return 0 if payload["passed"] else 1
     if args.experiment == "cache":
         from repro.bench.cache import DEFAULT_BENCH_LEVEL, run_cache_bench
 
@@ -593,10 +618,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["cache", "mutate", "parallel", "scaling", "shard"],
+        + ["cache", "mutate", "parallel", "scale", "scaling", "shard"],
     )
     bench.add_argument("--scale", type=int, default=1)
     bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument(
+        "--tuples",
+        metavar="N,N,...",
+        default="",
+        help=(
+            "comma-separated tuple targets for the 'scale' experiment "
+            "(default: 10000,100000,1000000)"
+        ),
+    )
     bench.add_argument("--level", type=int, default=0, help="override lattice level")
     bench.add_argument(
         "--workers",

@@ -32,12 +32,12 @@ from repro.core.traversal import (
     TraversalStrategy,
     get_strategy,
 )
-from repro.index.inverted import InvertedIndex
+from repro.index import IndexBackend, create_index, get_index_spec
 from repro.index.mapper import KeywordMapper, KeywordMapping
 from repro.obs.budget import ProbeBudget
 from repro.obs.trace import ProbeTracer
 from repro.relational.database import Database
-from repro.relational.engine import InMemoryEngine
+from repro.relational.engine import DEFAULT_MATERIALIZATION_CAP, InMemoryEngine
 from repro.relational.evaluator import (
     BatchExecutor,
     InstrumentedEvaluator,
@@ -198,6 +198,8 @@ class NonAnswerDebugger:
         tracer: ProbeTracer | None = None,
         cache_dir: str | Path | None = None,
         backend_options: dict[str, Any] | None = None,
+        index_backend: str = "memory",
+        index: IndexBackend | None = None,
     ):
         """Build the offline artifacts for ``database``.
 
@@ -221,6 +223,15 @@ class NonAnswerDebugger:
         skips Phase 3 entirely on an exact workload repeat; after a
         mutation the caches are repaired (monotone survivors kept), not
         discarded.
+
+        ``index_backend`` is resolved through the :mod:`repro.index`
+        registry (``memory`` or ``sqlite``): a persistent index backend
+        lives inside ``cache_dir`` (next to the probe cache) and is
+        repaired per relation on reopen, and a streaming one additionally
+        arms the engine's bounded-materialization semi-join so tuple sets
+        larger than the cap are streamed off disk instead of held in RAM.
+        ``index`` injects a prebuilt index (the scale bench reuses one
+        across phases); the debugger then does not own (or close) it.
         """
         self.database = database
         self.schema = database.schema
@@ -229,7 +240,18 @@ class NonAnswerDebugger:
         # Default tracer stamped onto every evaluator this debugger makes;
         # one tracer can accumulate spans across many queries/strategies.
         self.tracer = tracer
-        self.index = InvertedIndex(database)
+        self.index_backend_name = index_backend
+        index_spec = get_index_spec(index_backend)
+        self.index_capabilities = index_spec.capabilities
+        self._index_options: dict[str, Any] = {}
+        if cache_dir is not None and index_spec.capabilities.persistent:
+            self._index_options["cache_dir"] = cache_dir
+        if index is not None:
+            self.index: IndexBackend = index
+            self._owns_index = False
+        else:
+            self.index = create_index(index_backend, database, **self._index_options)
+            self._owns_index = True
         self.mapper = KeywordMapper(
             self.index, mode=mode, max_interpretations=max_interpretations
         )
@@ -256,6 +278,11 @@ class NonAnswerDebugger:
             "tuple_set_provider": self.index.provider,
             "cost_model": cost_model,
         }
+        if index_spec.capabilities.streaming:
+            # Arm the bounded-materialization semi-join: tuple sets over
+            # the cap stream from the index instead of living on the heap.
+            options["streaming_source"] = self.index
+            options["materialization_cap"] = DEFAULT_MATERIALIZATION_CAP
         options.update(backend_options or {})
         # Kept so the sharded executor can rebuild an identical backend
         # inside each forked worker process (connections never cross forks).
@@ -535,7 +562,11 @@ class NonAnswerDebugger:
                         )
                     return report
 
-        if processes > 1 and chosen.name in SHARDABLE_STRATEGIES:
+        # An out-of-core index holds a live sqlite connection that must not
+        # be shared across forks (the workers would interleave on one file
+        # descriptor); those runs stay on the coordinator-side path.
+        fork_safe_index = not self.index_capabilities.out_of_core
+        if processes > 1 and chosen.name in SHARDABLE_STRATEGIES and fork_safe_index:
             from repro.parallel import ShardedLatticeExecutor
 
             sharded = ShardedLatticeExecutor(processes=processes, shards=shards)
@@ -646,9 +677,16 @@ class NonAnswerDebugger:
         leaves them stale, so mutating callers must refresh before the
         next query.  The probe cache is *repaired* in place (monotone
         survivors re-keyed to the new fingerprints), not reopened, and
-        the status cache needs nothing -- it repairs at load time.
+        the status cache needs nothing -- it repairs at load time.  A
+        mutation-repair index backend (sqlite) likewise rebuilds only the
+        relations whose fingerprint changed when it is recreated here.
         """
-        self.index = InvertedIndex(self.database)
+        if self._owns_index:
+            self.index.close()
+        self.index = create_index(
+            self.index_backend_name, self.database, **self._index_options
+        )
+        self._owns_index = True
         self.mapper = KeywordMapper(
             self.index, mode=self.mode, max_interpretations=self._max_interpretations
         )
@@ -657,6 +695,8 @@ class NonAnswerDebugger:
             closer()
         options = dict(self.backend_factory_options)
         options["tuple_set_provider"] = self.index.provider
+        if "streaming_source" in options:
+            options["streaming_source"] = self.index
         self.backend_factory_options = options
         self.backend = create_backend(self.backend_name, self.database, **options)
         if self.probe_cache is not None:
@@ -684,6 +724,8 @@ class NonAnswerDebugger:
         closer = getattr(self.backend, "close", None)
         if closer is not None:
             closer()
+        if self._owns_index:
+            self.index.close()
         if self.probe_cache is not None:
             self.probe_cache.close()
         if self.status_cache is not None:

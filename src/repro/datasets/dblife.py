@@ -189,8 +189,16 @@ def dblife_schema() -> SchemaGraph:
     return SchemaGraph.build(relations, foreign_keys)
 
 
-class _Generator:
-    """Stateful helper that fills the tables; one instance per snapshot."""
+class SyntheticGenerator:
+    """Stateful helper that fills the tables; one instance per snapshot.
+
+    Determinism contract (relied on by ``repro bench scale`` and the
+    cross-process property test): the output is a pure function of the
+    :class:`DBLifeConfig` -- every random draw comes from the seeded
+    ``random.Random``, and the only ``set`` iterations are membership
+    checks or ``discard`` loops whose order cannot reach the output, so
+    hash randomization across processes cannot perturb the snapshot.
+    """
 
     def __init__(self, config: DBLifeConfig):
         self.config = config
@@ -366,10 +374,12 @@ class _Generator:
         # Q5: Gray serves on SIGMOD (alive at level 3).
         self._add_link("ServesOn", by_surname["Gray"], confs["SIGMOD"])
 
-        # Q6: DeWitt wrote no tutorial himself, but a coauthor did.
+        # Q6: DeWitt wrote no tutorial himself, but a coauthor did.  All
+        # tutorial authorships are dropped in one table pass: one rebuild
+        # per tutorial publication made generation quadratic in scale
+        # (thousands of full Writes rebuilds on a 10^6-tuple snapshot).
         dewitt = by_surname["DeWitt"]
-        for pub in self.tutorial_pubs:
-            self._drop_links("Writes", dewitt, pub)
+        self._drop_links_to_many("Writes", dewitt, set(self.tutorial_pubs))
         partner = by_surname["Gray"]
         if self.tutorial_pubs:
             self._add_link("Writes", partner, rng.choice(self.tutorial_pubs))
@@ -401,6 +411,19 @@ class _Generator:
         seen = self._link_seen.setdefault(relation, set())
         seen.discard((left, right))
 
+    def _drop_links_to_many(
+        self, relation: str, left: int, rights: set[int]
+    ) -> None:
+        """Remove every ``(left, r in rights)`` row in a single rebuild."""
+        table = self.database.table(relation)
+        kept = [
+            row for row in table if not (row[1] == left and row[2] in rights)
+        ]
+        self._rebuild(relation, kept)
+        seen = self._link_seen.setdefault(relation, set())
+        for right in rights:
+            seen.discard((left, right))
+
     def _drop_person_conf_pubs(self, person: int, conf: int) -> None:
         """Detach ``person`` from every publication of conference ``conf``."""
         published = self.database.table("PublishedIn")
@@ -422,6 +445,20 @@ class _Generator:
         )
 
 
+# Backwards-compatible alias (the class predates its public name).
+_Generator = SyntheticGenerator
+
+
 def dblife_database(config: DBLifeConfig | None = None) -> Database:
     """Generate a synthetic DBLife snapshot (deterministic per config)."""
-    return _Generator(config or DBLifeConfig()).generate()
+    return SyntheticGenerator(config or DBLifeConfig()).generate()
+
+
+def scale_for_tuples(target: int, seed: int = 42) -> int:
+    """The ``scale`` whose snapshot lands closest to ``target`` tuples.
+
+    Generates a scale-1 snapshot (~a millisecond) to learn the per-unit
+    tuple yield instead of hard-coding it against the generator's knobs.
+    """
+    unit = len(dblife_database(DBLifeConfig(seed=seed, scale=1)))
+    return max(1, round(target / unit))

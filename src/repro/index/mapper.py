@@ -13,7 +13,7 @@ import itertools
 import time
 from dataclasses import dataclass, field
 
-from repro.index.inverted import InvertedIndex
+from repro.index.base import IndexBackend
 from repro.relational.predicates import MatchMode, tokenize
 
 
@@ -73,7 +73,7 @@ class KeywordMapper:
 
     def __init__(
         self,
-        index: InvertedIndex,
+        index: IndexBackend,
         mode: MatchMode = MatchMode.TOKEN,
         max_interpretations: int = 256,
     ):

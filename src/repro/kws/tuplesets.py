@@ -5,31 +5,70 @@ keyword ``k``; ``R^{}`` (the *free tuple set*) is the whole relation.  Join
 networks of tuple sets (JNTS) are join trees whose vertices are tuple sets;
 in the lattice formulation a keyword tuple set is a keyword-bound copy and a
 free tuple set is the ``R0`` copy.
+
+A tuple set is either *materialized* (``row_ids`` is a frozenset, the
+original form) or *lazy*: above a caller-supplied materialization cap only
+the cardinality and a row-id loader are kept, and consumers stream
+:meth:`TupleSet.iter_ids` instead of holding a million-row set.  This is
+what lets the index backends serve 10^6-tuple snapshots without the tuple
+sets themselves becoming the memory ceiling.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Iterator
 
-from repro.index.inverted import InvertedIndex
+from repro.index.base import IndexBackend
 from repro.relational.predicates import MatchMode
 
 
 @dataclass(frozen=True)
 class TupleSet:
-    """Rows of one relation matching one keyword (or all rows if free)."""
+    """Rows of one relation matching one keyword (or all rows if free).
+
+    ``row_ids`` is ``None`` for a lazy tuple set; then ``lazy_size`` holds
+    the cardinality and ``loader`` yields the ids on demand.
+    """
 
     relation: str
     keyword: str | None
-    row_ids: frozenset[int]
+    row_ids: frozenset[int] | None
+    lazy_size: int | None = None
+    loader: Callable[[], Iterator[int]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.row_ids is None and (self.lazy_size is None or self.loader is None):
+            raise ValueError("a lazy TupleSet needs both lazy_size and loader")
 
     @property
     def is_free(self) -> bool:
         return self.keyword is None
 
     @property
+    def is_materialized(self) -> bool:
+        return self.row_ids is not None
+
+    @property
     def size(self) -> int:
-        return len(self.row_ids)
+        if self.row_ids is not None:
+            return len(self.row_ids)
+        assert self.lazy_size is not None
+        return self.lazy_size
+
+    def iter_ids(self) -> Iterator[int]:
+        """Stream the row ids (no materialization for lazy sets)."""
+        if self.row_ids is not None:
+            return iter(self.row_ids)
+        assert self.loader is not None
+        return self.loader()
+
+    def materialize(self) -> frozenset[int]:
+        """The full id set; builds it from the loader for lazy sets."""
+        if self.row_ids is not None:
+            return self.row_ids
+        return frozenset(self.iter_ids())
 
     def describe(self) -> str:
         superscript = self.keyword if self.keyword is not None else ""
@@ -37,19 +76,40 @@ class TupleSet:
 
 
 def compute_tuple_sets(
-    index: InvertedIndex,
+    index: IndexBackend,
     keywords: tuple[str, ...],
     mode: MatchMode = MatchMode.TOKEN,
+    materialization_cap: int | None = None,
 ) -> dict[str, list[TupleSet]]:
     """Keyword tuple sets for every keyword, grouped by keyword.
 
     Only non-empty tuple sets are returned (DISCOVER does the same: a
-    keyword that misses a relation contributes nothing there).
+    keyword that misses a relation contributes nothing there).  With a
+    ``materialization_cap``, sets above the cap stay lazy: their size
+    comes from the index and their ids stream from
+    ``index.iter_tuple_set``.
     """
     by_keyword: dict[str, list[TupleSet]] = {}
     for keyword in keywords:
         sets = []
         for relation in index.relations_containing(keyword, mode):
+            if materialization_cap is not None:
+                size = index.tuple_set_size(relation, keyword, mode)
+                if size == 0:
+                    continue
+                if size > materialization_cap:
+                    sets.append(
+                        TupleSet(
+                            relation,
+                            keyword,
+                            None,
+                            lazy_size=size,
+                            loader=partial(
+                                index.iter_tuple_set, relation, keyword, mode
+                            ),
+                        )
+                    )
+                    continue
             row_ids = index.tuple_set(relation, keyword, mode)
             if row_ids:
                 sets.append(TupleSet(relation, keyword, row_ids))
@@ -57,6 +117,16 @@ def compute_tuple_sets(
     return by_keyword
 
 
-def free_tuple_set(index: InvertedIndex, relation: str) -> TupleSet:
+def free_tuple_set(
+    index: IndexBackend, relation: str, materialization_cap: int | None = None
+) -> TupleSet:
     table = index.database.table(relation)
+    if materialization_cap is not None and len(table) > materialization_cap:
+        return TupleSet(
+            relation,
+            None,
+            None,
+            lazy_size=len(table),
+            loader=partial(iter, range(len(table))),
+        )
     return TupleSet(relation, None, frozenset(range(len(table))))

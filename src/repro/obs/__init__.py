@@ -18,6 +18,11 @@ visible to every traversal strategy, interactive session, and benchmark:
   cache hit/miss, and remaining budget; traces export as JSON-lines
   (``repro trace``) and aggregate per level / per strategy.
 
+A third, standalone facility serves the scale benchmark:
+:class:`MemoryTracker` (:mod:`repro.obs.memory`) scopes a tracemalloc
+allocation high-water to one phase, which is how ``repro bench scale``
+shows the disk-backed index keeping the Python heap flat at 10^6 tuples.
+
 Exported traces can additionally be checked against *runtime*
 invariants -- budget caps, free cache hits, per-segment accounting, pool
 release -- via :mod:`repro.obs.invariants` (``repro trace check``).
@@ -30,6 +35,7 @@ from repro.obs.invariants import (
     check_trace_lines,
     check_trace_records,
 )
+from repro.obs.memory import MemorySample, MemoryTracker, peak_rss_bytes
 from repro.obs.trace import (
     ProbeSpan,
     ProbeTracer,
@@ -41,6 +47,8 @@ from repro.obs.trace import (
 
 __all__ = [
     "InvariantViolation",
+    "MemorySample",
+    "MemoryTracker",
     "ProbeBudget",
     "ProbeBudgetExhausted",
     "ProbeSpan",
@@ -50,6 +58,7 @@ __all__ = [
     "check_trace_file",
     "check_trace_lines",
     "check_trace_records",
+    "peak_rss_bytes",
     "validate_trace_file",
     "validate_trace_record",
 ]

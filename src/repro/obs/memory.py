@@ -1,0 +1,103 @@
+"""Phase-scoped memory measurement for the scale benchmark.
+
+The out-of-core claim of the ``sqlite`` index backend is about the
+*Python-side* footprint: postings live in a b-tree file, so the heap
+high-water of a debugging phase should stay flat as the dataset grows.
+:class:`MemoryTracker` measures exactly that with :mod:`tracemalloc` --
+``reset_peak()`` on entry, ``get_traced_memory()`` on exit -- yielding a
+:class:`MemorySample` whose ``high_water_bytes`` is the phase's
+*incremental* allocation peak (peak minus the baseline already resident
+when the phase began).  Dataset residency and pre-warmed join indexes
+are therefore excluded as long as they are built before the tracked
+block, which is what :mod:`repro.bench.scale` does.
+
+``tracemalloc`` cannot see allocations made by C extensions (sqlite's
+page cache among them), so the flat-memory gate is deliberately a claim
+about Python objects; the OS-level ``ru_maxrss`` peak is carried along
+as an informational column only -- it is a process-lifetime high-water
+that never decreases, which makes it useless for per-phase gating.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from types import TracebackType
+
+
+def peak_rss_bytes() -> int:
+    """Process-lifetime peak resident set size, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize to
+    bytes so callers never branch on the platform.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - mac only
+        return int(peak)
+    return int(peak) * 1024
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """One tracked phase: its duration and allocation high-water."""
+
+    #: Python heap already traced when the phase started.
+    baseline_bytes: int
+    #: Absolute tracemalloc peak observed during the phase.
+    peak_bytes: int
+    #: ``peak - baseline``: the phase's own allocation high-water.
+    high_water_bytes: int
+    #: Process-lifetime ``ru_maxrss`` at phase end (informational only).
+    rss_peak_bytes: int
+    #: Wall-clock duration of the phase in seconds.
+    seconds: float
+
+
+class MemoryTracker:
+    """Context manager that scopes a tracemalloc peak to one phase.
+
+    Starts tracing on entry if nothing else has (and stops it again on
+    exit in that case, so nesting under an outer tracker keeps the outer
+    one's trace alive).  The measured :class:`MemorySample` is available
+    as :attr:`sample` after the block exits.
+    """
+
+    def __init__(self) -> None:
+        self.sample: MemorySample | None = None
+        self._owns_trace = False
+        self._baseline = 0
+        self._started = 0.0
+
+    def __enter__(self) -> "MemoryTracker":
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_trace = True
+        tracemalloc.reset_peak()
+        self._baseline, _ = tracemalloc.get_traced_memory()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        seconds = time.perf_counter() - self._started
+        _, peak = tracemalloc.get_traced_memory()
+        if self._owns_trace:
+            tracemalloc.stop()
+            self._owns_trace = False
+        self.sample = MemorySample(
+            baseline_bytes=self._baseline,
+            peak_bytes=peak,
+            high_water_bytes=max(0, peak - self._baseline),
+            rss_peak_bytes=peak_rss_bytes(),
+            seconds=seconds,
+        )

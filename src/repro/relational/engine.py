@@ -15,11 +15,22 @@ Keyword predicates are resolved to row-id sets through a pluggable
 ``tuple_set_provider`` so the inverted index can serve them; without one the
 engine falls back to a table scan (what ``LIKE '%kw%'`` would do without an
 index).
+
+At million-tuple scale the materialized tuple sets themselves become the
+memory ceiling, so the engine optionally takes a ``streaming_source`` (an
+index exposing ``tuple_set_size``/``iter_tuple_set``, e.g. the sqlite
+index backend) plus a ``materialization_cap``: a probe whose tuple sets
+all fit under the cap runs the classic materializing semi-join, anything
+larger switches to :meth:`InMemoryEngine._is_alive_streaming` -- a
+root-driven recursive existence check that streams the root's tuple set
+and walks each candidate row down the join tree through the tables' hash
+indexes, holding only O(depth) state (plus a bounded memo).  Both paths
+compute the same boolean, so classifications are byte-identical.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping, Protocol
 
 from repro.relational.database import Database
 from repro.relational.jointree import BoundQuery, JoinEdge, JoinTree, RelationInstance
@@ -29,6 +40,32 @@ from repro.relational.table import Table
 TupleSetProvider = Callable[[str, str, MatchMode], "set[int] | None"]
 ResultRow = dict[RelationInstance, dict[str, Any]]
 
+#: Tuple sets larger than this many rows are streamed, not materialized,
+#: when a ``streaming_source`` is attached.  Below the cap the classic
+#: path wins (its per-keyword sets are built once and cached); above it
+#: the sets would dominate the heap.  The cap doubles as the out-of-core
+#: memory plateau -- a streamed run retains at most a handful of
+#: cap-sized sets -- so it is kept small enough that the plateau fits
+#: inside the scale bench's "2x the 10^4-tuple footprint" ceiling.
+DEFAULT_MATERIALIZATION_CAP = 1024
+
+#: The streaming existence check memoizes (instance, row) -> survives
+#: verdicts; the memo is dropped once it reaches this many entries so a
+#: dead probe over a huge tuple set cannot re-grow a linear structure.
+_MEMO_CAP = 65_536
+
+
+class StreamingTupleSource(Protocol):
+    """What the engine needs from an index to stream tuple sets."""
+
+    def tuple_set_size(
+        self, relation: str, keyword: str, mode: MatchMode = MatchMode.TOKEN
+    ) -> int: ...
+
+    def iter_tuple_set(
+        self, relation: str, keyword: str, mode: MatchMode = MatchMode.TOKEN
+    ) -> Iterator[int]: ...
+
 
 class InMemoryEngine:
     """Evaluates :class:`BoundQuery` objects against a :class:`Database`."""
@@ -37,9 +74,17 @@ class InMemoryEngine:
         self,
         database: Database,
         tuple_set_provider: TupleSetProvider | None = None,
+        streaming_source: StreamingTupleSource | None = None,
+        materialization_cap: int | None = None,
     ):
         self.database = database
         self._tuple_set_provider = tuple_set_provider
+        self._streaming_source = streaming_source
+        self._materialization_cap = (
+            materialization_cap
+            if materialization_cap is not None or streaming_source is None
+            else DEFAULT_MATERIALIZATION_CAP
+        )
         self._scan_cache: dict[tuple[str, str, MatchMode], frozenset[int]] = {}
 
     # ------------------------------------------------------------ tuple sets
@@ -93,7 +138,14 @@ class InMemoryEngine:
         rows that (a) satisfy the node's keyword predicate and (b) join with
         every child's offered value set.  The query is alive iff the root
         retains at least one viable row.
+
+        When a ``streaming_source`` is attached and any of the query's
+        tuple sets (or free relations) exceeds the materialization cap,
+        the probe runs as a streamed existence check instead -- same
+        answer, flat memory.
         """
+        if self._should_stream(query):
+            return self._is_alive_streaming(query)
         tree = query.tree
         root = self._pick_root(query)
         out_values: dict[RelationInstance, set[Any]] = {}
@@ -158,6 +210,143 @@ class InMemoryEngine:
             return True
 
         return (row_id for row_id in candidates if passes(row_id))
+
+    # ---------------------------------------------------- streamed liveness
+    def _should_stream(self, query: BoundQuery) -> bool:
+        """True when some tuple set of ``query`` is too big to materialize."""
+        cap = self._materialization_cap
+        if self._streaming_source is None or cap is None:
+            return False
+        for instance in query.tree.sorted_instances():
+            keyword = query.keyword_of(instance)
+            if keyword is None:
+                if len(self.database.table(instance.relation)) > cap:
+                    return True
+                continue
+            needle = keyword.casefold()
+            if (instance.relation, needle, query.mode) in self._scan_cache:
+                continue
+            size = self._streaming_source.tuple_set_size(
+                instance.relation, needle, query.mode
+            )
+            if size > cap:
+                return True
+        return False
+
+    def _iter_candidates(
+        self, relation: str, keyword: str, mode: MatchMode
+    ) -> Iterable[int]:
+        """Candidate row ids for one bound instance, streamed when large."""
+        needle = keyword.casefold()
+        cached = self._scan_cache.get((relation, needle, mode))
+        if cached is not None:
+            return cached
+        source = self._streaming_source
+        cap = self._materialization_cap
+        if source is not None and cap is not None:
+            if source.tuple_set_size(relation, needle, mode) > cap:
+                return source.iter_tuple_set(relation, needle, mode)
+        return self.tuple_set(relation, needle, mode)
+
+    def _is_alive_streaming(self, query: BoundQuery) -> bool:
+        """Root-driven existence check holding O(tree depth) state.
+
+        The root's candidates are streamed; each one is verified by
+        recursing down the rooted tree through the tables' join-column
+        hash indexes, re-checking keyword predicates per row with
+        :func:`cell_matches` (the same ground truth the scan fallback
+        uses) instead of materialized tuple sets.  The first surviving
+        root row proves liveness; exhausting the stream proves death.
+        A bounded memo of (instance, row) verdicts keeps repeated join
+        targets (conferences, topics, ...) from being re-derived per
+        root candidate.
+        """
+        tree = query.tree
+        root = self._pick_streaming_root(query)
+        children = tree.rooted_children(root)
+        keyword = query.keyword_of(root)
+        candidates: Iterable[int]
+        if keyword is None:
+            candidates = range(len(self.database.table(root.relation)))
+        else:
+            candidates = self._iter_candidates(root.relation, keyword, query.mode)
+        memo: dict[tuple[RelationInstance, int], bool] = {}
+        for row_id in candidates:
+            if self._row_survives(query, children, root, row_id, memo):
+                return True
+        return False
+
+    def _row_survives(
+        self,
+        query: BoundQuery,
+        children: Mapping[RelationInstance, list[tuple[JoinEdge, RelationInstance]]],
+        node: RelationInstance,
+        row_id: int,
+        memo: dict[tuple[RelationInstance, int], bool],
+    ) -> bool:
+        """Does ``row_id`` of ``node`` join down every child subtree?"""
+        key = (node, row_id)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        table = self.database.table(node.relation)
+        row = table.row(row_id)
+        survives = True
+        for edge, child in children[node]:
+            value = row[table.relation.index_of(edge.column_of(node))]
+            if value is None:
+                survives = False
+                break
+            child_table = self.database.table(child.relation)
+            child_keyword = query.keyword_of(child)
+            found = False
+            for child_row in child_table.matching_ids(edge.column_of(child), value):
+                if child_keyword is not None and not self._row_matches(
+                    child_table, child_row, child_keyword, query.mode
+                ):
+                    continue
+                if self._row_survives(query, children, child, child_row, memo):
+                    found = True
+                    break
+            if not found:
+                survives = False
+                break
+        if len(memo) >= _MEMO_CAP:
+            memo.clear()
+        memo[key] = survives
+        return survives
+
+    def _pick_streaming_root(self, query: BoundQuery) -> RelationInstance:
+        """Root at the *smallest* bound tuple set: the root is streamed in
+        full on a dead probe, so its cardinality dominates the cost."""
+        bound = sorted(instance for instance, _ in query.bindings)
+        if not bound:
+            return query.tree.sorted_instances()[0]
+        source = self._streaming_source
+        if source is None or len(bound) == 1:
+            return bound[0]
+
+        def size_of(instance: RelationInstance) -> int:
+            keyword = query.keyword_of(instance)
+            assert keyword is not None
+            return source.tuple_set_size(
+                instance.relation, keyword.casefold(), query.mode
+            )
+
+        return min(bound, key=lambda instance: (size_of(instance), instance))
+
+    def _row_matches(
+        self, table: Table, row_id: int, keyword: str, mode: MatchMode
+    ) -> bool:
+        """Keyword predicate on one row, via cached sets or the cells."""
+        needle = keyword.casefold()
+        cached = self._scan_cache.get((table.relation.name, needle, mode))
+        if cached is not None:
+            return row_id in cached
+        return any(
+            cell_matches(needle, text, mode)
+            for _, text in table.text_cells(row_id)
+        )
 
     def _pick_root(self, query: BoundQuery) -> RelationInstance:
         """Root the tree at a bound instance when possible.

@@ -93,6 +93,16 @@ def render_existence_check(query: BoundQuery, schema: SchemaGraph) -> str:
     return render_sql(query, schema, select="1", limit=1)
 
 
+def render_exists_probe(query: BoundQuery, schema: SchemaGraph) -> str:
+    """The aliveness probe as a single boolean: ``SELECT EXISTS (...)``.
+
+    ``EXISTS`` short-circuits on the first joined row inside the engine,
+    so one scalar crosses the connection instead of a fetched row -- the
+    form the sqlite backend executes.
+    """
+    return f"SELECT EXISTS ({render_sql(query, schema, select='1')})"
+
+
 def render_ddl(schema: SchemaGraph) -> list[str]:
     """CREATE TABLE statements for the schema (used by the sqlite backend)."""
     statements = []

@@ -31,7 +31,7 @@ from repro.relational.database import Database
 from repro.relational.identifiers import quote_identifier
 from repro.relational.jointree import BoundQuery
 from repro.relational.predicates import MatchMode, cell_matches
-from repro.relational.sql import render_ddl, render_existence_check, render_sql
+from repro.relational.sql import render_ddl, render_exists_probe, render_sql
 
 #: Distinguishes the shared-cache memory databases of engines living in
 #: the same process (the URI name is process-global in sqlite).
@@ -131,11 +131,15 @@ class SqliteEngine:
 
     # ------------------------------------------------------------ interface
     def is_alive(self, query: BoundQuery) -> bool:
-        """Run the existence-check SQL and report whether a row came back."""
-        sql = render_existence_check(query, self.schema)
+        """Run the probe as one ``SELECT EXISTS (...)`` scalar.
+
+        The engine short-circuits the inner query on its first row and a
+        single 0/1 crosses the connection -- no row fetch, no LIMIT.
+        """
+        sql = render_exists_probe(query, self.schema)
         with self._pool.connection() as connection:
             cursor = connection.execute(sql)
-            return cursor.fetchone() is not None
+            return bool(cursor.fetchone()[0])
 
     def count(self, query: BoundQuery, limit: int | None = None) -> int:
         inner = render_sql(query, self.schema, select="1", limit=limit)

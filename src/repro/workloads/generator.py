@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 
-from repro.index.inverted import InvertedIndex
+from repro.index.base import IndexBackend
 
 
 class RandomWorkload:
@@ -17,7 +17,7 @@ class RandomWorkload:
 
     def __init__(
         self,
-        index: InvertedIndex,
+        index: IndexBackend,
         seed: int = 7,
         min_keywords: int = 2,
         max_keywords: int = 3,

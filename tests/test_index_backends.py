@@ -1,0 +1,241 @@
+"""Conformance suite for the index-backend registry (satellite of PR 9).
+
+Every registered backend must answer the same questions identically: the
+``sqlite`` index is a different *representation* of the memory index, not
+a different semantics.  The suite runs the full lookup surface over both
+built-ins and diffs the answers, plus the backend-specific contracts
+(persistence, per-relation repair, temp-file cleanup, closed-handle
+errors) and the memory-index regression that postings stay lazy.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.index import (
+    IndexBackend,
+    IndexRegistryError,
+    InvertedIndex,
+    Posting,
+    SqliteInvertedIndex,
+    create_index,
+    get_index_spec,
+    index_backend_names,
+)
+from repro.relational.database import Database
+from repro.relational.predicates import MatchMode
+from repro.relational.schema import (
+    Attribute,
+    AttributeType,
+    Relation,
+    SchemaGraph,
+)
+
+BACKENDS = ("memory", "sqlite")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend_pair(request, products_db):
+    """(reference memory index, index under test) over the toy database."""
+    reference = InvertedIndex(products_db)
+    index = create_index(request.param, products_db)
+    yield reference, index
+    index.close()
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = index_backend_names()
+        assert "memory" in names and "sqlite" in names
+
+    def test_unknown_backend_raises(self, products_db):
+        with pytest.raises(IndexRegistryError, match="unknown index backend"):
+            create_index("bogus", products_db)
+
+    def test_capability_declarations(self):
+        memory = get_index_spec("memory").capabilities
+        sqlite = get_index_spec("sqlite").capabilities
+        assert not memory.out_of_core and not memory.streaming
+        assert sqlite.persistent and sqlite.out_of_core
+        assert sqlite.streaming and sqlite.mutation_repair
+
+    def test_created_indexes_satisfy_protocol(self, backend_pair):
+        _, index = backend_pair
+        assert isinstance(index, IndexBackend)
+
+
+class TestConformance:
+    """Both backends answer the whole lookup surface identically."""
+
+    KEYWORDS = ("saffron", "candle", "crimson", "scent", "e", "sofa", "")
+    MODES = (MatchMode.TOKEN, MatchMode.SUBSTRING)
+
+    def test_vocabulary(self, backend_pair):
+        reference, index = backend_pair
+        assert index.vocabulary_size == reference.vocabulary_size
+        assert sorted(index.tokens()) == sorted(set(reference.tokens()))
+
+    def test_relations_containing(self, backend_pair):
+        reference, index = backend_pair
+        for keyword in self.KEYWORDS:
+            for mode in self.MODES:
+                assert index.relations_containing(keyword, mode) == (
+                    reference.relations_containing(keyword, mode)
+                ), (keyword, mode)
+
+    def test_tuple_sets_and_sizes(self, backend_pair):
+        reference, index = backend_pair
+        for keyword in self.KEYWORDS:
+            for mode in self.MODES:
+                for relation in reference.relations_containing(keyword, mode):
+                    expected = reference.tuple_set(relation, keyword, mode)
+                    assert index.tuple_set(relation, keyword, mode) == expected
+                    assert index.tuple_set_size(relation, keyword, mode) == (
+                        len(expected)
+                    )
+                    assert list(index.iter_tuple_set(relation, keyword, mode)) == (
+                        sorted(expected)
+                    )
+
+    def test_postings(self, backend_pair):
+        reference, index = backend_pair
+        for keyword in ("crimson", "candle", "scent"):
+            for mode in self.MODES:
+                assert set(index.postings(keyword, mode)) == set(
+                    reference.postings(keyword, mode)
+                ), (keyword, mode)
+
+    def test_document_frequency(self, backend_pair):
+        reference, index = backend_pair
+        for keyword in self.KEYWORDS:
+            for mode in self.MODES:
+                assert index.document_frequency(keyword, mode) == (
+                    reference.document_frequency(keyword, mode)
+                ), (keyword, mode)
+
+    def test_provider_signature(self, backend_pair):
+        _, index = backend_pair
+        assert index.provider("ProductType", "candle", MatchMode.TOKEN) == {1}
+
+
+class TestCasefoldConformance:
+    """STRASSE and straße meet under full case folding on every backend."""
+
+    @pytest.fixture(params=BACKENDS)
+    def index(self, request):
+        from repro.datasets.products import product_database
+
+        database = product_database()
+        database.insert("Color", (50, "STRASSE", "eszett"))
+        database.insert("Color", (51, "straße", "sharp s"))
+        index = create_index(request.param, database)
+        yield index
+        index.close()
+
+    def test_both_spellings_fold_to_one_token(self, index):
+        expected = index.tuple_set("Color", "strasse")
+        assert len(expected) == 2
+        for keyword in ("straße", "STRASSE", "Strasse"):
+            assert "Color" in index.relations_containing(keyword), keyword
+            assert index.tuple_set("Color", keyword) == expected, keyword
+
+
+class TestReservedRelationNames:
+    """Relation names that are SQL keywords never reach SQL as identifiers."""
+
+    @pytest.fixture(params=BACKENDS)
+    def index(self, request):
+        schema = SchemaGraph.build(
+            [
+                Relation(
+                    "Order",
+                    (Attribute("id", AttributeType.INTEGER), Attribute("select")),
+                ),
+                Relation(
+                    "Group",
+                    (Attribute("id", AttributeType.INTEGER), Attribute("where")),
+                ),
+            ],
+            [],
+        )
+        database = Database(schema)
+        database.insert("Order", (1, "urgent delivery"))
+        database.insert("Group", (1, "delivery team"))
+        index = create_index(request.param, database)
+        yield index
+        index.close()
+
+    def test_lookups_work(self, index):
+        assert index.relations_containing("delivery") == ("Group", "Order")
+        assert index.tuple_set("Order", "urgent") == {0}
+        assert index.tuple_set_size("Group", "delivery") == 1
+        postings = index.postings("delivery")
+        assert {(p.relation, p.attribute) for p in postings} == {
+            ("Order", "select"),
+            ("Group", "where"),
+        }
+
+
+class TestSqlitePersistence:
+    def test_reopen_reuses_all_relations(self, tmp_path, products_db):
+        with SqliteInvertedIndex.open_dir(tmp_path, products_db) as first:
+            assert first.build_stats.relations_built > 0
+            vocabulary = first.vocabulary_size
+        with SqliteInvertedIndex.open_dir(tmp_path, products_db) as second:
+            assert second.build_stats.relations_built == 0
+            assert second.build_stats.relations_reused > 0
+            assert second.vocabulary_size == vocabulary
+
+    def test_mutation_repairs_only_changed_relation(self, tmp_path):
+        from repro.datasets.products import product_database
+
+        database = product_database()
+        with SqliteInvertedIndex.open_dir(tmp_path, database):
+            pass
+        database.insert("Color", (99, "ultraviolet", "uv"))
+        with SqliteInvertedIndex.open_dir(tmp_path, database) as repaired:
+            assert repaired.build_stats.relations_built == 1
+            assert repaired.build_stats.relations_reused == (
+                len(database.tables) - 1
+            )
+            new_row = len(database.table("Color")) - 1
+            assert new_row in repaired.tuple_set("Color", "ultraviolet")
+
+    def test_unmanaged_index_removes_its_temp_file(self, products_db):
+        index = SqliteInvertedIndex(products_db)
+        path = index.path
+        assert path.exists()
+        index.close()
+        assert not path.exists()
+
+    def test_closed_index_raises(self, products_db):
+        index = SqliteInvertedIndex(products_db)
+        index.close()
+        index.close()  # idempotent
+        with pytest.raises(Exception, match="closed"):
+            index.tuple_set("Item", "saffron")
+
+
+class TestLazyDetailedPostings:
+    """Regression: building the memory index allocates no Posting objects.
+
+    The detailed (attribute-carrying) postings are only needed by
+    ``postings()`` consumers (diagnosis rendering, IR-style ranking); the
+    probe pipeline never asks, so ``_build`` must not pay for them.
+    """
+
+    def test_no_postings_until_asked(self, products_db):
+        index = InvertedIndex(products_db)
+        gc.collect()
+        alive = [obj for obj in gc.get_objects() if isinstance(obj, Posting)]
+        assert alive == []
+        assert not index._detailed_built
+        assert index.postings("saffron")  # first detailed ask builds them
+        assert index._detailed_built
+
+    def test_detailed_build_is_idempotent(self, products_index):
+        first = products_index.postings("crimson")
+        second = products_index.postings("crimson")
+        assert first == second
