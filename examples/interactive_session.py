@@ -15,6 +15,9 @@ incremental workflow the library supports on top of the paper's machinery:
 4. push a constraint ("I already checked the Color table") and compare the
    SQL bill;
 5. finish with the automatic root-cause diagnosis and ranked explanations.
+
+Sessions are context managers: leaving the ``with`` block persists what the
+session learned (the status store) so a later session starts warm.
 """
 
 from repro import NonAnswerDebugger, SearchConstraints, product_database
@@ -30,48 +33,53 @@ def main() -> None:
     debugger = NonAnswerDebugger(database, max_joins=2)
 
     print(f'Opening a debug session for "{QUERY}"...')
-    session = DebugSession(debugger, QUERY)
-    print(f"  {session.progress()}")
-    print("  candidate networks on the table:")
-    for view in session.overview():
-        print(f"    {view}")
-    print()
+    with DebugSession(debugger, QUERY) as session:
+        print(f"  {session.progress()}")
+        print("  candidate networks on the table:")
+        for view in session.overview():
+            print(f"    {view}")
+        print()
 
-    print("Classifying candidates one by one (1 SQL each, or 0 if inferred):")
-    for view in session.overview():
-        status = session.classify(view.position)
-        print(f"  [{view.position}] -> {status.value}")
-    print(f"  {session.progress()}\n")
+        print(
+            "Classifying candidates one by one (1 SQL each, or 0 if inferred):"
+        )
+        for view in session.overview():
+            status = session.classify(view.position)
+            print(f"  [{view.position}] -> {status.value}")
+        print(f"  {session.progress()}\n")
 
-    dead = [
-        view.position
-        for view in session.overview()
-        if view.status.value == "dead"
-    ]
-    first = dead[0]
-    print(f"Explaining just candidate #{first}:")
-    for mpan in session.explain(first):
-        print(f"  works up to: {mpan.describe()}")
-    print(f"  {session.progress()}")
-    second = dead[1]
-    print(f"Explaining #{second} reuses the shared knowledge:")
-    before = session.evaluator.stats.queries_executed
-    for mpan in session.explain(second):
-        print(f"  works up to: {mpan.describe()}")
-    print(
-        f"  (cost of the second explanation: "
-        f"{session.evaluator.stats.queries_executed - before} extra queries)\n"
-    )
+        dead = [
+            view.position
+            for view in session.overview()
+            if view.status.value == "dead"
+        ]
+        first = dead[0]
+        print(f"Explaining just candidate #{first}:")
+        for mpan in session.explain(first):
+            print(f"  works up to: {mpan.describe()}")
+        print(f"  {session.progress()}")
+        second = dead[1]
+        print(f"Explaining #{second} reuses the shared knowledge:")
+        before = session.evaluator.stats.queries_executed
+        for mpan in session.explain(second):
+            print(f"  works up to: {mpan.describe()}")
+        print(
+            f"  (cost of the second explanation: "
+            f"{session.evaluator.stats.queries_executed - before} "
+            f"extra queries)\n"
+        )
 
-    print("Same query with a pushed-down constraint (skip Color entirely):")
-    constrained = DebugSession(
-        debugger,
-        QUERY,
-        SearchConstraints(exclude_relations=frozenset({"Color"})),
-    )
-    constrained.explain_all()
-    print(f"  constrained: {constrained.progress()}")
-    print(f"  unconstrained was: {session.progress()}\n")
+        print(
+            "Same query with a pushed-down constraint (skip Color entirely):"
+        )
+        with DebugSession(
+            debugger,
+            QUERY,
+            SearchConstraints(exclude_relations=frozenset({"Color"})),
+        ) as constrained:
+            constrained.explain_all()
+            print(f"  constrained: {constrained.progress()}")
+        print(f"  unconstrained was: {session.progress()}\n")
 
     print("Batch view with diagnosis and ranked explanations:")
     report = debugger.debug(QUERY)

@@ -40,6 +40,7 @@ ANNOTATION_REQUIRED: tuple[str, ...] = (
     "repro/backends/",
     "repro/cache/",
     "repro/obs/",
+    "repro/service/",
 )
 
 #: ``random`` module attributes that do NOT touch the global RNG.

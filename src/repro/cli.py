@@ -9,6 +9,8 @@ Subcommands::
     repro bench cache --json BENCH_cache.json        # cold vs warm probe cache
     repro bench shard --workers 4                    # threads vs forked shards
     repro debug "red candle" --executor processes    # sharded multiprocessing
+    repro serve --dataset dblife --port 8642         # multi-tenant HTTP service
+    repro bench serve --json BENCH_serve.json        # concurrent-session QPS
     repro inspect --dataset dblife --scale 2         # dataset summary
     repro lint --dataset dblife --json               # static analysis
     repro cache stats --cache-dir .repro-cache       # persistent probe cache
@@ -394,6 +396,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             count = context.tracer.write_jsonl(args.trace)
             print(f"(wrote {count} trace records to {args.trace})")
         return 0 if payload["passed"] else 1
+    if args.experiment == "serve":
+        from repro.bench.serve import (
+            DEFAULT_BENCH_LEVEL,
+            DEFAULT_CONCURRENT_CLIENTS,
+            run_serve_bench,
+        )
+
+        started = time.perf_counter()
+        table, payload = run_serve_bench(
+            context,
+            level=args.level or DEFAULT_BENCH_LEVEL,
+            clients=args.workers or DEFAULT_CONCURRENT_CLIENTS,
+        )
+        print(table.render())
+        print(f"(ran in {time.perf_counter() - started:.1f} s)")
+        _write_bench_json(args, payload)
+        return 0 if payload["passed"] else 1
     if args.experiment == "parallel":
         from repro.bench.parallel import DEFAULT_BENCH_LEVEL, run_parallel_bench
 
@@ -479,6 +498,57 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"  vector {vector[:16]}... [{counts['relations']}]: "
             f"{counts['entries']} entries ({counts['alive']} alive)"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant debugging service until interrupted.
+
+    Ctrl-C stops the listener first (no new sessions race the drain),
+    then shuts the manager down: active sessions finish, the final
+    ``service_shutdown`` / ``pool_stats`` trace events are emitted, and
+    the combined event log (every session the service ran) is exported
+    when ``--event-log`` is set.
+    """
+    from repro.service import ServiceApp, ServiceServer, SessionManager
+
+    database = _load_database(args)
+    debugger = NonAnswerDebugger(
+        database,
+        max_joins=args.level - 1,
+        mode=MatchMode(args.match),
+        strategy=args.strategy,
+        use_lattice=not args.direct,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        index_backend=args.index_backend,
+    )
+    manager = SessionManager(
+        debugger, workers=args.workers, session_ttl=args.session_ttl
+    )
+    server = ServiceServer(ServiceApp(manager), host=args.host, port=args.port)
+    server.start()
+    print(
+        f"repro service on {server.address} "
+        f"(dataset={args.dataset}, backend={args.backend}, "
+        f"workers={args.workers})"
+    )
+    print("POST /sessions to submit; Ctrl-C drains sessions and exits.")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("shutting down: draining active sessions...", file=sys.stderr)
+    finally:
+        server.stop()
+        summary = manager.shutdown(drain=True, export_path=args.event_log)
+        print(
+            f"served {summary['sessions_served']} session(s), "
+            f"{summary['active_sessions']} left active",
+            file=sys.stderr,
+        )
+        if args.event_log:
+            print(f"(event log exported to {args.event_log})", file=sys.stderr)
     return 0
 
 
@@ -618,7 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["cache", "mutate", "parallel", "scale", "scaling", "shard"],
+        + ["cache", "mutate", "parallel", "scale", "scaling", "serve", "shard"],
     )
     bench.add_argument("--scale", type=int, default=1)
     bench.add_argument("--seed", type=int, default=42)
@@ -658,6 +728,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory for the 'cache' experiment (default: temp dir)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the debugging pipeline as a multi-tenant HTTP service",
+        description=(
+            "Serve non-answer debugging over HTTP: POST /sessions submits "
+            "a keyword query, GET /sessions/<id>/stream follows its "
+            "trace-schema event log as chunked JSON-lines until the "
+            "terminal event, GET /sessions/<id>/result returns answers, "
+            "non-answers, and MPANs.  Sessions run concurrently on a "
+            "worker pool sharing the backend connection pool and (with "
+            "--cache-dir) the persistent probe/status caches, so repeat "
+            "queries skip Phase 3 entirely.  Ctrl-C drains active "
+            "sessions before exiting."
+        ),
+    )
+    _add_dataset_options(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 = ephemeral; default: 8642)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="concurrent session slots (default: 4)",
+    )
+    serve.add_argument(
+        "--strategy",
+        choices=STRATEGY_CHOICES,
+        default="sbh",
+        help="default traversal strategy (per-session override via POST)",
+    )
+    serve.add_argument(
+        "--direct",
+        action="store_true",
+        help="skip Phase 0 and generate the pruned lattice per query",
+    )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict finished sessions after this long (default: keep)",
+    )
+    serve.add_argument(
+        "--event-log",
+        metavar="PATH",
+        help="export the combined JSON-lines event log on shutdown",
+    )
+    _add_backend_options(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     inspect = commands.add_parser("inspect", help="summarize a dataset")
     _add_dataset_options(inspect)

@@ -488,8 +488,19 @@ class NonAnswerDebugger:
         executor: "BatchExecutor | None" = None,
         processes: int = 0,
         shards: int | None = None,
+        tracer: ProbeTracer | None = None,
     ) -> DebugReport:
         """Run phases 1-3 for ``query`` and explain its non-answers.
+
+        ``tracer`` overrides the debugger-wide tracer for this one call:
+        every span and event of the run -- including the phase lifecycle
+        events below -- lands there instead.  That is how the service
+        layer gives each session its own gap-free event stream while many
+        sessions share one debugger.  The run emits ``phase_started`` /
+        ``phase_completed`` events around keyword mapping, lattice
+        pruning, MTN discovery, and the traversal, so a consumer can
+        follow the pipeline live rather than waiting for the final
+        report.
 
         With a ``budget`` the traversal stops cleanly when the probe cap is
         reached and the report is partial (``report.exhausted``): every
@@ -523,21 +534,44 @@ class NonAnswerDebugger:
                 else get_strategy(strategy)
             )
         timings = PhaseTimings()
+        active = tracer if tracer is not None else self.tracer
 
+        def phase_event(name: str, phase: str, **attrs: Any) -> None:
+            if active is not None:
+                active.record_event(name, phase=phase, **attrs)
+
+        phase_event("phase_started", "keyword_mapping")
         started = time.perf_counter()
         mapping = self.map_keywords(query)
         timings.keyword_mapping = time.perf_counter() - started
         report = DebugReport(query=query, mapping=mapping, timings=timings)
+        phase_event(
+            "phase_completed",
+            "keyword_mapping",
+            interpretations=len(mapping.interpretations),
+            complete=mapping.complete,
+        )
         if report.aborted or not mapping.keywords:
             return report
 
+        phase_event("phase_started", "lattice_pruning")
         started = time.perf_counter()
         report.pruned_lattices = self.prune(mapping)
         timings.lattice_pruning = time.perf_counter() - started
+        phase_event(
+            "phase_completed", "lattice_pruning", retained_nodes=report.retained_nodes
+        )
 
+        phase_event("phase_started", "mtn_discovery")
         started = time.perf_counter()
         report.graph = self.build_graph(report.pruned_lattices, constraints)
         timings.mtn_discovery = time.perf_counter() - started
+        phase_event(
+            "phase_completed",
+            "mtn_discovery",
+            mtns=len(report.graph.mtn_indexes),
+            nodes=len(report.graph),
+        )
 
         # Exact repeat: the status cache holds a complete run of this very
         # workload against byte-identical content, so Phase 3 is implied
@@ -553,8 +587,8 @@ class NonAnswerDebugger:
                     rebuilt.elapsed = time.perf_counter() - started
                     report.traversal = rebuilt
                     timings.traversal = rebuilt.elapsed
-                    if self.tracer is not None:
-                        self.tracer.record_event(
+                    if active is not None:
+                        active.record_event(
                             "phase3_skipped",
                             workload_key=load.workload_key,
                             strategy=chosen.name,
@@ -570,6 +604,7 @@ class NonAnswerDebugger:
             from repro.parallel import ShardedLatticeExecutor
 
             sharded = ShardedLatticeExecutor(processes=processes, shards=shards)
+            phase_event("phase_started", "traversal", strategy=chosen.name)
             started = time.perf_counter()
             report.traversal = sharded.run(
                 report.graph,
@@ -579,15 +614,23 @@ class NonAnswerDebugger:
                 backend_options=self.backend_factory_options,
                 cost_model=self.cost_model,
                 budget=budget,
-                tracer=self.tracer,
+                tracer=active,
                 coordinator_backend=self.backend,
             )
             timings.traversal = time.perf_counter() - started
+            phase_event(
+                "phase_completed",
+                "traversal",
+                strategy=chosen.name,
+                exhausted=report.traversal.exhausted,
+            )
             self._maybe_save_status(mapping, report, constraints)
             return report
 
         if evaluator is None:
-            evaluator = self.make_evaluator(use_cache=chosen.uses_reuse, budget=budget)
+            evaluator = self.make_evaluator(
+                use_cache=chosen.uses_reuse, budget=budget, tracer=active
+            )
         elif budget is not None and evaluator.budget is None:
             evaluator.budget = budget
         owned_executor = None
@@ -595,6 +638,7 @@ class NonAnswerDebugger:
             from repro.parallel import ParallelProbeExecutor
 
             executor = owned_executor = ParallelProbeExecutor(workers=workers)
+        phase_event("phase_started", "traversal", strategy=chosen.name)
         started = time.perf_counter()
         try:
             report.traversal = chosen.run(
@@ -604,6 +648,12 @@ class NonAnswerDebugger:
             if owned_executor is not None:
                 owned_executor.close()
         timings.traversal = time.perf_counter() - started
+        phase_event(
+            "phase_completed",
+            "traversal",
+            strategy=chosen.name,
+            exhausted=report.traversal.exhausted,
+        )
         self._maybe_save_status(mapping, report, constraints)
         return report
 

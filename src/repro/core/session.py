@@ -100,6 +100,7 @@ class DebugSession:
         # Flipped when the budget refuses a probe; every action after that
         # degrades to "report what is already known" instead of failing.
         self.exhausted = False
+        self._closed = False
 
     # -------------------------------------------------------------- reading
     def overview(self) -> list[MtnView]:
@@ -221,3 +222,28 @@ class DebugSession:
             self.mapping, self.graph, self.store, exhausted=self.exhausted
         )
         return explanations
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """End the session, persisting everything it learned.
+
+        Partial knowledge is saved too -- the next session over
+        byte-identical content preloads it through R1/R2 replay, so no
+        probe this session paid for is ever re-executed.  Idempotent,
+        and safe after :meth:`explain_all` (the status cache keeps the
+        newest facts for the workload either way).  The session borrows
+        the debugger's backend and caches, so nothing else needs
+        releasing here.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.debugger.save_session_status(
+            self.mapping, self.graph, self.store, exhausted=self.exhausted
+        )
+
+    def __enter__(self) -> "DebugSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

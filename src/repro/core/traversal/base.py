@@ -32,6 +32,7 @@ from repro.relational.jointree import BoundQuery
 
 if typing.TYPE_CHECKING:
     from repro.core.traversal.sharding import ShardFailure
+    from repro.obs.trace import ProbeTracer
 
 
 @dataclass
@@ -245,6 +246,7 @@ class TraversalStrategy(abc.ABC):
         result: TraversalResult,
         mtn_index: int,
         partial: bool = False,
+        tracer: "ProbeTracer | None" = None,
     ) -> None:
         """Record one classified MTN (and its MPANs if dead) into the result.
 
@@ -252,6 +254,12 @@ class TraversalStrategy(abc.ABC):
         MTN is skipped instead of being an error, and a dead MTN's MPANs
         are reported only if its whole search space was resolved --
         otherwise an unknown node could still be the true maximal one.
+
+        When a ``tracer`` is attached, each MTN's resolution is announced
+        as it happens -- an ``mtn_resolved`` event, plus ``mpan_available``
+        once a dead MTN's maximal alive sub-queries are known -- so a
+        streaming consumer can surface classifications before the sweep
+        finishes.
         """
         from repro.core.status import Status
 
@@ -261,8 +269,16 @@ class TraversalStrategy(abc.ABC):
         result.stores[mtn_index] = store
         if status is Status.ALIVE:
             result.alive_mtns.append(mtn_index)
+            if tracer is not None:
+                tracer.record_event(
+                    "mtn_resolved", mtn_index=mtn_index, alive=True
+                )
         elif status is Status.DEAD:
             result.dead_mtns.append(mtn_index)
+            if tracer is not None:
+                tracer.record_event(
+                    "mtn_resolved", mtn_index=mtn_index, alive=False
+                )
             unresolved = (
                 store.unknown_mask & store.graph.desc_mask[mtn_index]
                 if partial
@@ -270,5 +286,11 @@ class TraversalStrategy(abc.ABC):
             )
             if not unresolved:
                 result.mpans[mtn_index] = store.mpans_of(mtn_index)
+                if tracer is not None:
+                    tracer.record_event(
+                        "mpan_available",
+                        mtn_index=mtn_index,
+                        count=len(result.mpans[mtn_index]),
+                    )
         else:  # pragma: no cover - defended against by every strategy
             raise RuntimeError(f"MTN {mtn_index} left unclassified")

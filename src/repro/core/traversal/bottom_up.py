@@ -68,9 +68,11 @@ class BottomUpStrategy(TraversalStrategy):
                 # Keep what this MTN's partial sweep implied, then stop;
                 # later MTNs would need probes the budget no longer allows.
                 result.exhausted = True
-                self._collect(store, result, mtn_index, partial=True)
+                self._collect(
+                    store, result, mtn_index, partial=True, tracer=evaluator.tracer
+                )
                 return
-            self._collect(store, result, mtn_index)
+            self._collect(store, result, mtn_index, tracer=evaluator.tracer)
 
 
 class BottomUpWithReuseStrategy(TraversalStrategy):
@@ -94,4 +96,10 @@ class BottomUpWithReuseStrategy(TraversalStrategy):
         except ProbeBudgetExhausted:
             result.exhausted = True
         for mtn_index in graph.mtn_indexes:
-            self._collect(store, result, mtn_index, partial=result.exhausted)
+            self._collect(
+                store,
+                result,
+                mtn_index,
+                partial=result.exhausted,
+                tracer=evaluator.tracer,
+            )

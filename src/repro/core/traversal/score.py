@@ -121,7 +121,13 @@ class ScoreBasedStrategy(TraversalStrategy):
             result.exhausted = True
 
         for mtn_index in graph.mtn_indexes:
-            self._collect(store, result, mtn_index, partial=result.exhausted)
+            self._collect(
+                store,
+                result,
+                mtn_index,
+                partial=result.exhausted,
+                tracer=evaluator.tracer,
+            )
 
     @staticmethod
     def _zero_bits(weight: np.ndarray, graph: ExplorationGraph, mask: int) -> None:

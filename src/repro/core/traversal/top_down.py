@@ -60,9 +60,11 @@ class TopDownStrategy(TraversalStrategy):
                 )
             except ProbeBudgetExhausted:
                 result.exhausted = True
-                self._collect(store, result, mtn_index, partial=True)
+                self._collect(
+                    store, result, mtn_index, partial=True, tracer=evaluator.tracer
+                )
                 return
-            self._collect(store, result, mtn_index)
+            self._collect(store, result, mtn_index, tracer=evaluator.tracer)
 
 
 class TopDownWithReuseStrategy(TraversalStrategy):
@@ -86,4 +88,10 @@ class TopDownWithReuseStrategy(TraversalStrategy):
         except ProbeBudgetExhausted:
             result.exhausted = True
         for mtn_index in graph.mtn_indexes:
-            self._collect(store, result, mtn_index, partial=result.exhausted)
+            self._collect(
+                store,
+                result,
+                mtn_index,
+                partial=result.exhausted,
+                tracer=evaluator.tracer,
+            )

@@ -67,6 +67,12 @@ class ProbeBudget:
     #: Number of probes refused by :meth:`admit` -- nonzero iff the
     #: budget actually bound some sweep.
     denied: int = field(default=0, init=False)
+    #: Flipped by :meth:`abort`: every later admission is refused, so
+    #: the sweep in progress stops at its next backend probe with the
+    #: same graceful partial-result semantics as real exhaustion.  This
+    #: is how the service layer cancels a running session without
+    #: touching strategy control flow.
+    aborted: bool = field(default=False, init=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -89,6 +95,8 @@ class ProbeBudget:
         )
 
     def _exhausted_locked(self) -> bool:
+        if self.aborted:
+            return True
         if (
             self.max_queries is not None
             and self.queries_used + self.in_flight >= self.max_queries
@@ -130,6 +138,8 @@ class ProbeBudget:
 
     def _describe_locked(self) -> str:
         parts = []
+        if self.aborted:
+            parts.append("aborted")
         if self.max_queries is not None:
             parts.append(f"{self.queries_used}/{self.max_queries} queries")
         if self.max_simulated_seconds is not None:
@@ -187,6 +197,18 @@ class ProbeBudget:
         """Release a reservation whose probe never executed (backend error)."""
         with self._lock:
             self.in_flight = max(0, self.in_flight - queries)
+
+    def abort(self) -> None:
+        """Refuse every future admission (cooperative cancellation).
+
+        Probes already in flight finish and are charged normally; the
+        next :meth:`admit` raises :class:`ProbeBudgetExhausted`, which
+        the traversal strategies already turn into a clean partial
+        result.  Irreversible for this budget instance (by design: a
+        cancelled unit of work must not resume spending).
+        """
+        with self._lock:
+            self.aborted = True
 
     def reset(self) -> None:
         """Forget all spent work (limits stay); for budget-per-query reuse."""

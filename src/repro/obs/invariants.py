@@ -36,6 +36,21 @@ for:
   :meth:`repro.core.debugger.NonAnswerDebugger.close`) must show every
   pooled connection checked back in and a peak within the cap.
 
+Service traces (:mod:`repro.service` exports) add three more contracts,
+checked whenever the relevant records appear:
+
+* **session-terminal** -- every session that emitted ``session_submitted``
+  ends in exactly one terminal event (``session_completed`` /
+  ``session_failed`` / ``session_cancelled``), and it is the session's
+  last record.
+* **session-seq** -- each session's records (keyed by the stamped
+  ``session_id``) carry gap-free sequence numbers from 0: the per-session
+  tracer starts fresh and its listener-fed log never drops, so a missing
+  seq means lost telemetry.
+* **service-shutdown** -- a ``service_shutdown`` event must report
+  ``active_sessions == 0`` (the drain finished before resources were
+  released) and must come after every session's terminal event.
+
 Deliberately *not* checked: duplicate-probe detection by ``(level,
 keywords)`` -- two different join trees can share both, so flagging the
 pair would be unsound.
@@ -273,6 +288,134 @@ def _check_pool_events(
             )
 
 
+#: Event names that legally end a session's stream (mirrors
+#: :data:`repro.service.events.TERMINAL_EVENTS`; duplicated so the trace
+#: checker stays importable without the service package).
+_SESSION_TERMINAL = frozenset(
+    {"session_completed", "session_failed", "session_cancelled"}
+)
+
+
+def _check_sessions(
+    records: list[dict[str, Any]], violations: list[InvariantViolation]
+) -> None:
+    """Session lifecycle: terminal events, gap-free per-session seqs."""
+    #: session_id -> (seqs, terminal count, seq of last record, seq of
+    #: the terminal event, whether session_submitted was seen).
+    seqs: dict[str, list[int]] = {}
+    terminals: dict[str, int] = {}
+    last_seq: dict[str, int] = {}
+    terminal_seq: dict[str, int] = {}
+    submitted: dict[str, int] = {}
+    for record in records:
+        session_id = record.get("session_id")
+        if not isinstance(session_id, str):
+            continue
+        seq = record.get("seq")
+        if not isinstance(seq, int):
+            continue
+        seqs.setdefault(session_id, []).append(seq)
+        last_seq[session_id] = seq
+        if record.get("kind") != "event":
+            continue
+        name = record.get("name")
+        if name == "session_submitted":
+            submitted[session_id] = seq
+        if name in _SESSION_TERMINAL:
+            terminals[session_id] = terminals.get(session_id, 0) + 1
+            terminal_seq[session_id] = seq
+
+    for session_id, start_seq in sorted(submitted.items()):
+        count = terminals.get(session_id, 0)
+        if count == 0:
+            violations.append(
+                InvariantViolation(
+                    "session-terminal",
+                    start_seq,
+                    f"session {session_id!r} was submitted but never "
+                    f"reached a terminal event",
+                )
+            )
+        elif count > 1:
+            violations.append(
+                InvariantViolation(
+                    "session-terminal",
+                    terminal_seq[session_id],
+                    f"session {session_id!r} carries {count} terminal "
+                    f"events (exactly one expected)",
+                )
+            )
+        elif terminal_seq[session_id] != last_seq[session_id]:
+            violations.append(
+                InvariantViolation(
+                    "session-terminal",
+                    last_seq[session_id],
+                    f"session {session_id!r} has records after its "
+                    f"terminal event",
+                )
+            )
+
+    for session_id, session_seqs in sorted(seqs.items()):
+        ordered = sorted(session_seqs)
+        if ordered != list(range(ordered[0], ordered[0] + len(ordered))):
+            violations.append(
+                InvariantViolation(
+                    "session-seq",
+                    ordered[0],
+                    f"session {session_id!r} has gaps or duplicates in "
+                    f"its sequence numbers",
+                )
+            )
+        elif session_id in submitted and ordered[0] != 0:
+            violations.append(
+                InvariantViolation(
+                    "session-seq",
+                    ordered[0],
+                    f"session {session_id!r} starts at seq {ordered[0]}, "
+                    f"not 0: the head of the stream is missing",
+                )
+            )
+
+
+def _check_service_shutdown(
+    records: list[dict[str, Any]], violations: list[InvariantViolation]
+) -> None:
+    """``service_shutdown`` means drained: no session may still be open."""
+    shutdown_index: int | None = None
+    for index, record in enumerate(records):
+        if (
+            record.get("kind") == "event"
+            and record.get("name") == "service_shutdown"
+        ):
+            shutdown_index = index
+            active = record.get("active_sessions")
+            if isinstance(active, int) and active != 0:
+                violations.append(
+                    InvariantViolation(
+                        "service-shutdown",
+                        record["seq"],
+                        f"{active} session(s) still active at shutdown",
+                    )
+                )
+    if shutdown_index is None:
+        return
+    shutdown_record = records[shutdown_index]
+    for record in records[shutdown_index + 1 :]:
+        if (
+            record.get("kind") == "event"
+            and isinstance(record.get("session_id"), str)
+            and record.get("name") in _SESSION_TERMINAL
+        ):
+            violations.append(
+                InvariantViolation(
+                    "service-shutdown",
+                    shutdown_record["seq"],
+                    f"session {record['session_id']!r} turned terminal "
+                    f"after service_shutdown",
+                )
+            )
+
+
 def check_trace_records(
     records: list[dict[str, Any]], max_queries: int | None = None
 ) -> list[InvariantViolation]:
@@ -282,6 +425,8 @@ def check_trace_records(
     _check_span_tiers(spans, violations)
     _check_pool_events(records, violations)
     _check_shard_plans(records, violations)
+    _check_sessions(records, violations)
+    _check_service_shutdown(records, violations)
 
     start: dict[str, Any] | None = None
     segment_spans: list[dict[str, Any]] = []

@@ -24,7 +24,7 @@ import json
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Union
+from typing import Any, Callable, Iterable, Iterator, Union
 
 DEFAULT_CAPACITY = 65_536
 
@@ -51,6 +51,7 @@ SPAN_OPTIONAL_SCHEMA: dict[str, tuple[type, ...]] = {
     "cache_tier": (str,),
     "process_id": (int,),
     "shard_id": (int,),
+    "session_id": (str,),
 }
 EVENT_SCHEMA: dict[str, tuple[type, ...]] = {
     "kind": (str,),
@@ -91,6 +92,9 @@ class ProbeSpan:
     process_id: int | None = None
     #: Shard whose traversal issued the probe (None = unsharded run).
     shard_id: int | None = None
+    #: Service session that issued the probe (None = library/CLI use).
+    #: Stamped from the tracer context set by :mod:`repro.service`.
+    session_id: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         record: dict[str, Any] = {
@@ -118,6 +122,8 @@ class ProbeSpan:
             record["process_id"] = self.process_id
         if self.shard_id is not None:
             record["shard_id"] = self.shard_id
+        if self.session_id is not None:
+            record["session_id"] = self.session_id
         return record
 
 
@@ -145,7 +151,11 @@ class ProbeTracer:
     many runs and still aggregate per strategy.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        listener: Callable[[TraceRecord], None] | None = None,
+    ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
@@ -153,9 +163,27 @@ class ProbeTracer:
         self._seq = 0
         self.dropped = 0
         self._context: dict[str, Any] = {}  # guarded-by: _lock
+        # Invoked under the record lock so delivery order matches the
+        # assigned seq even when worker threads record concurrently; the
+        # callback must not call back into this tracer.
+        self._listener = listener  # guarded-by: _lock
         # Sequence assignment + append must be atomic: spans may be
         # recorded from worker threads (see repro.parallel).
         self._lock = threading.Lock()
+
+    def set_listener(
+        self, listener: Callable[[TraceRecord], None] | None
+    ) -> None:
+        """Attach (or detach) a live record subscriber.
+
+        Every span/event recorded afterwards is handed to ``listener``
+        immediately after entering the ring, in seq order.  Unlike the
+        bounded ring, the listener sees *every* record -- it is how the
+        service layer keeps a gap-free per-session event log even when
+        the ring wraps.
+        """
+        with self._lock:
+            self._listener = listener
 
     # ------------------------------------------------------------- context
     def set_context(self, **attrs: Any) -> None:
@@ -214,14 +242,24 @@ class ProbeTracer:
                 cache_tier=cache_tier,
                 process_id=process_id,
                 shard_id=shard_id,
+                session_id=self._context.get("session_id"),
             )
             self._records.append(span)
+            if self._listener is not None:
+                self._listener(span)
         return span
 
     def record_event(self, name: str, **attrs: Any) -> TraceEvent:
         with self._lock:
+            # Events inherit the session context the same way spans do,
+            # so a per-session trace attributes every record without the
+            # emitters having to thread the id through.
+            if "session_id" in self._context and "session_id" not in attrs:
+                attrs["session_id"] = self._context["session_id"]
             event = TraceEvent(seq=self._next_seq_locked(), name=name, attrs=attrs)
             self._records.append(event)
+            if self._listener is not None:
+                self._listener(event)
         return event
 
     def clear(self) -> None:
@@ -286,7 +324,14 @@ class ProbeTracer:
         Each row carries probe/executed/cache-hit counts and total wall +
         simulated seconds; rows sort by group key.
         """
-        if key not in ("level", "strategy", "worker_id", "process_id", "shard_id"):
+        if key not in (
+            "level",
+            "strategy",
+            "worker_id",
+            "process_id",
+            "shard_id",
+            "session_id",
+        ):
             raise ValueError(f"unsupported aggregation key {key!r}")
         groups: dict[Any, dict[str, Any]] = {}
         for span in self.spans:

@@ -1,0 +1,247 @@
+"""HTTP routing for the debugging service (transport-agnostic core).
+
+:class:`ServiceApp` maps requests onto a :class:`~repro.service.manager.
+SessionManager` and returns plain :class:`Response` values -- bytes for
+documents, an iterator of byte chunks for streams.  It never touches a
+socket, so the full route surface is testable in-process;
+:class:`~repro.service.server.ServiceServer` is the thin asyncio shell
+that speaks HTTP/1.1 around it.
+
+Routes::
+
+    GET    /healthz                       liveness
+    POST   /sessions                      submit {query, strategy?, max_queries?}
+    GET    /sessions                      list sessions
+    GET    /sessions/<id>                 state summary
+    GET    /sessions/<id>/events          poll records (?after=SEQ&wait=SECONDS)
+    GET    /sessions/<id>/stream          chunked JSON-lines until terminal
+    GET    /sessions/<id>/result          answers, non-answers, MPANs
+    GET    /sessions/<id>/mpans           just the MPAN explanations
+    DELETE /sessions/<id>                 cooperative cancel
+    POST   /mutate                        {relation, inserts?, deletes?}
+    GET    /admin/stats                   cache/pool/session counters
+
+Event payloads are trace-schema records (the same JSON lines ``repro
+trace check`` validates), so a client can pipe a streamed session log
+straight into the existing tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.service.manager import (
+    ServiceClosed,
+    SessionHandle,
+    SessionManager,
+    UnknownSession,
+)
+
+#: Upper bound on a long-poll wait, seconds: clients cannot park handler
+#: threads indefinitely.
+MAX_POLL_WAIT_SECONDS = 30.0
+
+JSON_TYPE = "application/json"
+JSONL_TYPE = "application/x-ndjson"
+
+
+@dataclass
+class Response:
+    """One HTTP response, transport-agnostic.
+
+    Exactly one of ``body`` (sized, Content-Length) and ``stream``
+    (chunked transfer) carries content.
+    """
+
+    status: int
+    body: bytes = b""
+    content_type: str = JSON_TYPE
+    headers: dict[str, str] = field(default_factory=dict)
+    stream: Iterator[bytes] | None = None
+
+
+def _json_response(
+    status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
+) -> Response:
+    return Response(
+        status,
+        body=(json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+        headers=dict(headers or {}),
+    )
+
+
+def _error(status: int, message: str) -> Response:
+    return _json_response(status, {"error": message})
+
+
+class ServiceApp:
+    """Route requests onto one :class:`SessionManager`."""
+
+    def __init__(self, manager: SessionManager):
+        self.manager = manager
+
+    # ------------------------------------------------------------ dispatch
+    def handle(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, str],
+        body: bytes,
+    ) -> Response:
+        """Serve one request; never raises (errors become responses)."""
+        try:
+            return self._route(method, path, params, body)
+        except UnknownSession as error:
+            return _error(404, f"unknown session {error.args[0]!r}")
+        except ServiceClosed as error:
+            return _error(503, str(error))
+        except (ValueError, KeyError, TypeError) as error:
+            return _error(400, str(error))
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, str],
+        body: bytes,
+    ) -> Response:
+        parts = [part for part in path.split("/") if part]
+        if path == "/healthz" and method == "GET":
+            return _json_response(200, {"status": "ok"})
+        if path == "/sessions":
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                return self._list_sessions()
+        if len(parts) >= 2 and parts[0] == "sessions":
+            handle = self.manager.get(parts[1])
+            if len(parts) == 2:
+                if method == "GET":
+                    return _json_response(200, handle.describe())
+                if method == "DELETE":
+                    self.manager.cancel(handle.session_id)
+                    return _json_response(202, handle.describe())
+            if len(parts) == 3 and method == "GET":
+                if parts[2] == "events":
+                    return self._events(handle, params)
+                if parts[2] == "stream":
+                    return self._stream(handle)
+                if parts[2] == "result":
+                    return _json_response(200, handle.result_payload())
+                if parts[2] == "mpans":
+                    return self._mpans(handle)
+        if path == "/mutate" and method == "POST":
+            return self._mutate(body)
+        if path == "/admin/stats" and method == "GET":
+            return _json_response(200, self.manager.stats())
+        return _error(404, f"no route for {method} {path}")
+
+    # ------------------------------------------------------------- routes
+    def _submit(self, body: bytes) -> Response:
+        document = _parse_json_object(body)
+        query = document.get("query")
+        if not isinstance(query, str) or not query.strip():
+            return _error(400, "body must carry a non-empty 'query' string")
+        strategy = document.get("strategy")
+        if strategy is not None and not isinstance(strategy, str):
+            return _error(400, "'strategy' must be a string")
+        max_queries = document.get("max_queries")
+        if max_queries is not None and (
+            isinstance(max_queries, bool) or not isinstance(max_queries, int)
+        ):
+            return _error(400, "'max_queries' must be an integer")
+        handle = self.manager.submit(
+            query, strategy=strategy, max_queries=max_queries
+        )
+        return _json_response(
+            202,
+            {
+                "session_id": handle.session_id,
+                "state": handle.state,
+                "events": f"/sessions/{handle.session_id}/events",
+                "stream": f"/sessions/{handle.session_id}/stream",
+                "result": f"/sessions/{handle.session_id}/result",
+            },
+        )
+
+    def _list_sessions(self) -> Response:
+        return _json_response(
+            200,
+            {
+                "sessions": [
+                    handle.describe() for handle in self.manager.sessions()
+                ]
+            },
+        )
+
+    def _events(
+        self, handle: SessionHandle, params: dict[str, str]
+    ) -> Response:
+        after = int(params.get("after", "-1"))
+        wait = min(
+            max(0.0, float(params.get("wait", "0"))), MAX_POLL_WAIT_SECONDS
+        )
+        records, terminal = handle.log.events_after(after, wait_seconds=wait)
+        lines = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
+        return Response(
+            200,
+            body=lines.encode("utf-8"),
+            content_type=JSONL_TYPE,
+            headers={"X-Repro-Terminal": "1" if terminal else "0"},
+        )
+
+    def _stream(self, handle: SessionHandle) -> Response:
+        def chunks() -> Iterator[bytes]:
+            for record in handle.log.follow():
+                yield (json.dumps(record, sort_keys=True) + "\n").encode(
+                    "utf-8"
+                )
+
+        return Response(200, content_type=JSONL_TYPE, stream=chunks())
+
+    def _mpans(self, handle: SessionHandle) -> Response:
+        payload = handle.result_payload()
+        return _json_response(
+            200,
+            {
+                "session_id": handle.session_id,
+                "state": payload["state"],
+                "non_answers": payload.get("non_answers", []),
+            },
+        )
+
+    def _mutate(self, body: bytes) -> Response:
+        document = _parse_json_object(body)
+        relation = document.get("relation")
+        if not isinstance(relation, str):
+            return _error(400, "body must carry a 'relation' string")
+        inserts = document.get("inserts", [])
+        deletes = document.get("deletes", [])
+        if not isinstance(inserts, list) or not all(
+            isinstance(row, list) for row in inserts
+        ):
+            return _error(400, "'inserts' must be a list of rows")
+        if not isinstance(deletes, list) or not all(
+            isinstance(row_id, int) and not isinstance(row_id, bool)
+            for row_id in deletes
+        ):
+            return _error(400, "'deletes' must be a list of row ids")
+        summary = self.manager.mutate(
+            relation, inserts=inserts, deletes=deletes
+        )
+        return _json_response(200, summary)
+
+
+def _parse_json_object(body: bytes) -> dict[str, Any]:
+    """Decode a request body into a JSON object (400-mapped on failure)."""
+    try:
+        document = json.loads(body.decode("utf-8") or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ValueError(f"request body is not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise ValueError("request body must be a JSON object")
+    return document

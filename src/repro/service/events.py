@@ -1,0 +1,160 @@
+"""Per-session event streams: the event-driven face of the core.
+
+Each service session owns a :class:`~repro.obs.trace.ProbeTracer` whose
+listener hook feeds a :class:`SessionEventLog`.  The log therefore sees
+*every* record the run produced -- phase transitions, per-probe spans,
+MTN resolutions, MPAN availability, budget exhaustion -- in sequence
+order, even when the tracer's bounded ring wraps, which is what makes
+the per-session stream gap-free (``repro trace check`` verifies exactly
+that).  Records are the existing trace schema
+(:data:`~repro.obs.trace.SPAN_SCHEMA` / ``EVENT_SCHEMA``), re-validated
+on append so a malformed emitter fails loudly at the producer, not in
+some consumer half a network away.
+
+A session's stream ends with exactly one *terminal* event --
+``session_completed``, ``session_failed``, or ``session_cancelled`` --
+after which the log is immutable and every waiter is released.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Iterator, cast
+
+from repro.obs.trace import TraceRecord, validate_trace_record
+
+#: Event names that end a session's stream.  Exactly one of these is the
+#: last record of every submitted session (``repro trace check``'s
+#: ``session-terminal`` invariant).
+TERMINAL_EVENTS = frozenset(
+    {"session_completed", "session_failed", "session_cancelled"}
+)
+
+#: Wait granularity for :meth:`SessionEventLog.follow`: how often a
+#: streaming consumer re-checks for new records when none arrive.
+_FOLLOW_POLL_SECONDS = 0.5
+
+
+class SessionEventLog:
+    """Append-only, thread-safe record log of one service session.
+
+    The producer is the session's tracer listener (called under the
+    tracer lock, so appends arrive in seq order); consumers are HTTP
+    handler threads polling :meth:`events_after` or streaming
+    :meth:`follow`.  The log never drops: unlike the tracer ring it is
+    unbounded, sized by the session's actual output, and sessions are
+    evicted whole (:class:`~repro.service.manager.SessionManager` TTL).
+    """
+
+    def __init__(self, session_id: str):
+        self.session_id = session_id
+        self._cond = threading.Condition()
+        self._records: list[dict[str, object]] = []  # guarded-by: _cond
+        self._terminal = False  # guarded-by: _cond
+
+    # ------------------------------------------------------------ producer
+    def append(self, record: TraceRecord) -> None:
+        """Tracer listener: fold one span/event into the log.
+
+        Runs under the tracer's lock; it must not (and does not) call
+        back into the tracer.  The serialized form is schema-validated
+        here so every line a client ever streams is known-well-formed.
+        """
+        payload = record.to_dict()
+        validate_trace_record(payload)
+        with self._cond:
+            if self._terminal:
+                # A terminal event ends the stream; late stragglers would
+                # break the "terminal event is last" contract.  None are
+                # expected (the manager emits the terminal event last),
+                # so this is a loud failure, not a silent drop.
+                raise RuntimeError(
+                    f"record after terminal event in session "
+                    f"{self.session_id!r}: {payload!r}"
+                )
+            self._records.append(payload)
+            if (
+                payload.get("kind") == "event"
+                and payload.get("name") in TERMINAL_EVENTS
+            ):
+                self._terminal = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------ consumer
+    @property
+    def terminal(self) -> bool:
+        """True once the session's final event has been logged."""
+        with self._cond:
+            return self._terminal
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._records)
+
+    def snapshot(self) -> list[dict[str, object]]:
+        """All records so far, in seq order."""
+        with self._cond:
+            return list(self._records)
+
+    def events_after(
+        self, after_seq: int = -1, wait_seconds: float = 0.0
+    ) -> tuple[list[dict[str, object]], bool]:
+        """Records with ``seq > after_seq`` plus the terminal flag.
+
+        With ``wait_seconds > 0`` the call blocks (bounded) until at
+        least one new record arrives or the stream turns terminal --
+        long-polling for clients that would otherwise busy-loop.
+        """
+        deadline = time.perf_counter() + max(0.0, wait_seconds)
+        with self._cond:
+            while (
+                not self._terminal
+                and not self._newer_than_locked(after_seq)
+            ):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            fresh = [
+                record
+                for record in self._records
+                if cast(int, record["seq"]) > after_seq
+            ]
+            return fresh, self._terminal
+
+    def _newer_than_locked(self, after_seq: int) -> bool:
+        if not self._records:
+            return False
+        last = self._records[-1]
+        return cast(int, last["seq"]) > after_seq
+
+    def follow(
+        self, poll_seconds: float = _FOLLOW_POLL_SECONDS
+    ) -> Iterator[dict[str, object]]:
+        """Yield every record in order, blocking until the stream ends.
+
+        The generator re-arms a bounded wait between batches instead of
+        holding the condition across yields, so a slow consumer never
+        blocks the producing tracer.
+        """
+        cursor = -1
+        while True:
+            fresh, terminal = self.events_after(
+                cursor, wait_seconds=poll_seconds
+            )
+            for record in fresh:
+                cursor = cast(int, record["seq"])
+                yield record
+            if terminal and not fresh:
+                return
+
+    # ------------------------------------------------------------- export
+    def jsonl_lines(self, after_seq: int = -1) -> list[str]:
+        """Records after ``after_seq`` as JSON lines (trace schema)."""
+        return [
+            json.dumps(record, sort_keys=True)
+            for record in self.snapshot()
+            if cast(int, record["seq"]) > after_seq
+        ]

@@ -1,0 +1,304 @@
+"""End-to-end service smoke test: Table 2 through a live HTTP socket.
+
+Starts a real :class:`~repro.service.server.ServiceServer` on an
+ephemeral port, replays the paper's Q1-Q10 workload twice as an HTTP
+client (``http.client``, nothing in-process), and asserts the serving
+contract:
+
+* pass 1 (cold): every session streams a gap-free event log over
+  chunked JSON-lines and reaches a terminal event;
+* pass 2 (warm, the acceptance criterion): every non-aborted repeat
+  observes ``phase3_skipped`` through the HTTP layer and executes **zero**
+  backend queries -- the persisted status cache answers the whole run;
+* classification signatures are byte-identical across passes;
+* after a drained shutdown, the exported combined event log passes
+  ``repro trace check`` (terminal events, per-session seq gaps, pool
+  release, cache-hit accounting).
+
+Run directly (CI does)::
+
+    python -m repro.service.smoke --event-log service-events.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import tempfile
+import time
+from typing import Any, Sequence
+
+from repro.datasets.dblife import DBLifeConfig, dblife_database
+from repro.datasets.products import product_database
+from repro.service.app import ServiceApp
+from repro.service.manager import SessionManager
+from repro.service.server import ServiceServer
+from repro.workloads.queries import TABLE2_QUERIES
+
+#: Ceiling on how long one session may take to turn terminal, seconds.
+SESSION_DEADLINE_SECONDS = 120.0
+
+
+def _request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict[str, Any] | None = None,
+) -> tuple[int, bytes]:
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {} if payload is None else {"Content-Type": "application/json"}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    status, raw = _request(host, port, method, path, body)
+    document = json.loads(raw.decode("utf-8"))
+    if status >= 400:
+        raise RuntimeError(f"{method} {path} -> {status}: {document}")
+    assert isinstance(document, dict)
+    return document
+
+
+def stream_session_events(
+    host: str, port: int, session_id: str
+) -> list[dict[str, Any]]:
+    """Read one session's full event stream over chunked JSON-lines.
+
+    Blocks until the server ends the stream at the session's terminal
+    event; ``http.client`` undoes the chunked framing transparently.
+    """
+    connection = http.client.HTTPConnection(host, port, timeout=300)
+    try:
+        connection.request("GET", f"/sessions/{session_id}/stream")
+        response = connection.getresponse()
+        if response.status != 200:
+            raise RuntimeError(
+                f"stream of {session_id} -> {response.status}"
+            )
+        records = []
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            records.append(json.loads(line.decode("utf-8")))
+        return records
+    finally:
+        connection.close()
+
+
+def poll_session_events(
+    host: str, port: int, session_id: str
+) -> list[dict[str, Any]]:
+    """Read one session's events by long-polling until terminal."""
+    records: list[dict[str, Any]] = []
+    cursor = -1
+    deadline = time.perf_counter() + SESSION_DEADLINE_SECONDS
+    while True:
+        status, raw = _request(
+            host,
+            port,
+            "GET",
+            f"/sessions/{session_id}/events?after={cursor}&wait=5",
+        )
+        if status != 200:
+            raise RuntimeError(f"events of {session_id} -> {status}")
+        fresh = [
+            json.loads(line)
+            for line in raw.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+        records.extend(fresh)
+        if fresh:
+            cursor = int(fresh[-1]["seq"])
+        if any(
+            record.get("kind") == "event"
+            and str(record.get("name", "")).startswith("session_")
+            and record.get("name")
+            in ("session_completed", "session_failed", "session_cancelled")
+            for record in fresh
+        ):
+            return records
+        if time.perf_counter() > deadline:
+            raise RuntimeError(f"session {session_id} never turned terminal")
+
+
+def run_pass(
+    host: str,
+    port: int,
+    queries: Sequence[str],
+    use_stream: bool,
+) -> list[dict[str, Any]]:
+    """Submit every query, collect events + result, return per-query rows."""
+    rows = []
+    for text in queries:
+        submitted = _request_json(
+            host, port, "POST", "/sessions", {"query": text}
+        )
+        session_id = str(submitted["session_id"])
+        if use_stream:
+            events = stream_session_events(host, port, session_id)
+        else:
+            events = poll_session_events(host, port, session_id)
+        result = _request_json(
+            host, port, "GET", f"/sessions/{session_id}/result"
+        )
+        executed_spans = sum(
+            1
+            for record in events
+            if record.get("kind") == "span" and not record.get("cache_hit")
+        )
+        rows.append(
+            {
+                "query": text,
+                "session_id": session_id,
+                "state": result["state"],
+                "aborted": bool(result.get("aborted")),
+                "signature": result.get("signature"),
+                "queries_executed": int(result.get("queries_executed", 0)),
+                "executed_spans": executed_spans,
+                "event_names": sorted(
+                    {
+                        str(record["name"])
+                        for record in events
+                        if record.get("kind") == "event"
+                    }
+                ),
+            }
+        )
+    return rows
+
+
+def run_smoke(
+    dataset: str = "dblife",
+    backend: str = "memory",
+    cache_dir: str | None = None,
+    event_log: str | None = None,
+    workers: int = 2,
+    scale: int = 1,
+    seed: int = 42,
+) -> dict[str, Any]:
+    """Run the two-pass Q1-Q10 smoke workload; returns the gate payload."""
+    from repro.obs.invariants import check_trace_file
+
+    if dataset == "products":
+        database = product_database()
+    else:
+        database = dblife_database(DBLifeConfig(seed=seed, scale=scale))
+    queries = [query.text for query in TABLE2_QUERIES]
+
+    with tempfile.TemporaryDirectory() as scratch:
+        from repro.core.debugger import NonAnswerDebugger
+
+        debugger = NonAnswerDebugger(
+            database,
+            max_joins=2,
+            use_lattice=False,
+            backend=backend,
+            cache_dir=cache_dir or scratch,
+        )
+        manager = SessionManager(debugger, workers=workers)
+        server = ServiceServer(ServiceApp(manager))
+        server.start()
+        try:
+            health = _request_json(server.host, server.port, "GET", "/healthz")
+            assert health["status"] == "ok"
+            pass1 = run_pass(server.host, server.port, queries, use_stream=True)
+            pass2 = run_pass(
+                server.host, server.port, queries, use_stream=False
+            )
+            stats = _request_json(
+                server.host, server.port, "GET", "/admin/stats"
+            )
+        finally:
+            server.stop()
+            manager.shutdown(drain=True, export_path=event_log)
+
+        violations = (
+            [v.render() for v in check_trace_file(event_log)]
+            if event_log is not None
+            else []
+        )
+
+    checks = {
+        "all_terminal": all(
+            row["state"] == "completed" for row in pass1 + pass2
+        ),
+        "signatures_identical": all(
+            first["signature"] == second["signature"]
+            for first, second in zip(pass1, pass2)
+        ),
+        # A repeat must skip Phase 3 whenever there was one: the cold run
+        # classified at least one candidate network (queries with zero
+        # MTNs at this join level have no facts to persist, and nothing
+        # to skip -- they execute zero probes either way).
+        "warm_pass_skips_phase3": all(
+            "phase3_skipped" in second["event_names"]
+            for first, second in zip(pass1, pass2)
+            if not second["aborted"]
+            and first["signature"]
+            and (first["signature"][0] or first["signature"][1])
+        ),
+        "warm_pass_zero_backend_queries": sum(
+            row["queries_executed"] + row["executed_spans"] for row in pass2
+        )
+        == 0,
+        "some_phase3_skips": any(
+            "phase3_skipped" in row["event_names"] for row in pass2
+        ),
+        "trace_check_clean": not violations,
+    }
+    return {
+        "dataset": dataset,
+        "backend": backend,
+        "queries": len(queries),
+        "pass1_executed": sum(row["executed_spans"] for row in pass1),
+        "pass2_executed": sum(row["executed_spans"] for row in pass2),
+        "sessions_served": stats["sessions_submitted"],
+        "violations": violations,
+        "checks": checks,
+        "passed": all(checks.values()),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="drive Q1-Q10 through a live repro service over HTTP"
+    )
+    parser.add_argument("--dataset", choices=("products", "dblife"), default="dblife")
+    parser.add_argument("--backend", default="memory")
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--event-log", default=None)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    payload = run_smoke(
+        dataset=args.dataset,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        event_log=args.event_log,
+        workers=args.workers,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if payload["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

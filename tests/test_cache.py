@@ -476,16 +476,16 @@ class TestWarmStart:
         with NonAnswerDebugger(
             product_database(), max_joins=2, cache_dir=cache_dir
         ) as cold:
-            cold_session = DebugSession(cold, self.QUERY)
-            cold_session.explain_all()
+            with DebugSession(cold, self.QUERY) as cold_session:
+                cold_session.explain_all()
         with NonAnswerDebugger(
             product_database(), max_joins=2, cache_dir=cache_dir
         ) as warm:
-            warm_session = DebugSession(warm, self.QUERY)
-            # The persisted StatusStore pre-classifies the whole graph.
-            assert warm_session.preloaded > 0
-            warm_session.explain_all()
-            assert warm_session.evaluator.stats.queries_executed == 0
+            with DebugSession(warm, self.QUERY) as warm_session:
+                # The persisted StatusStore pre-classifies the whole graph.
+                assert warm_session.preloaded > 0
+                warm_session.explain_all()
+                assert warm_session.evaluator.stats.queries_executed == 0
 
     def test_debugger_without_cache_dir_has_no_store(self, products_debugger):
         assert products_debugger.probe_cache is None

@@ -109,9 +109,12 @@ class TestSessionWithConstraints:
         from repro.core.session import DebugSession
 
         constraints = SearchConstraints(exclude_relations=frozenset({"Color"}))
-        session = DebugSession(products_debugger, QUERY, constraints)
-        for view in session.overview():
-            assert "Color" not in view.query.tree.relations()
-        # Classifying everything still works under constraints.
-        for view in session.overview():
-            assert session.classify(view.position) in (Status.ALIVE, Status.DEAD)
+        with DebugSession(products_debugger, QUERY, constraints) as session:
+            for view in session.overview():
+                assert "Color" not in view.query.tree.relations()
+            # Classifying everything still works under constraints.
+            for view in session.overview():
+                assert session.classify(view.position) in (
+                    Status.ALIVE,
+                    Status.DEAD,
+                )

@@ -306,52 +306,61 @@ class TestBudgetedTraversal:
 
 class TestBudgetedSession:
     def test_classify_degrades_to_possibly_alive(self, products_debugger):
-        session = DebugSession(
+        with DebugSession(
             products_debugger,
             "saffron scented candle",
             budget=ProbeBudget(max_queries=0),
-        )
-        statuses = {session.classify(i) for i in range(len(session.overview()))}
-        # Base-level seeding costs nothing, so some may be known already;
-        # nothing beyond that can be learned with a zero budget.
-        assert session.exhausted or statuses <= {Status.ALIVE, Status.DEAD}
-        assert "budget exhausted" in session.progress() or not session.exhausted
+        ) as session:
+            statuses = {
+                session.classify(i) for i in range(len(session.overview()))
+            }
+            # Base-level seeding costs nothing, so some may be known already;
+            # nothing beyond that can be learned with a zero budget.
+            assert session.exhausted or statuses <= {Status.ALIVE, Status.DEAD}
+            assert (
+                "budget exhausted" in session.progress()
+                or not session.exhausted
+            )
 
     def test_explain_does_not_cache_partial_result(self, products_debugger):
-        unbudgeted = DebugSession(products_debugger, "saffron scented candle")
-        full = unbudgeted.explain_all()
-        dead_positions = [pos for pos, mpans in full.items() if mpans]
-        assert dead_positions
-        position = dead_positions[0]
+        with DebugSession(
+            products_debugger, "saffron scented candle"
+        ) as unbudgeted:
+            full = unbudgeted.explain_all()
+            dead_positions = [pos for pos, mpans in full.items() if mpans]
+            assert dead_positions
+            position = dead_positions[0]
 
-        budget = ProbeBudget(max_queries=1)
-        session = DebugSession(
-            products_debugger, "saffron scented candle", budget=budget
-        )
-        first = session.explain(position)
-        if session.exhausted:
-            assert first == []
-            # A fresh budget resumes from the shared store, nothing was
-            # falsely remembered as explained.
-            budget.reset()
-            budget.max_queries = None
-            session.exhausted = False
-        queries = session.explain(position)
-        assert [q.describe() for q in queries] == [
-            q.describe() for q in unbudgeted.explain(position)
-        ]
+            budget = ProbeBudget(max_queries=1)
+            with DebugSession(
+                products_debugger, "saffron scented candle", budget=budget
+            ) as session:
+                first = session.explain(position)
+                if session.exhausted:
+                    assert first == []
+                    # A fresh budget resumes from the shared store, nothing
+                    # was falsely remembered as explained.
+                    budget.reset()
+                    budget.max_queries = None
+                    session.exhausted = False
+                queries = session.explain(position)
+                assert [q.describe() for q in queries] == [
+                    q.describe() for q in unbudgeted.explain(position)
+                ]
 
     def test_explain_all_reports_only_completed_explanations(
         self, products_debugger
     ):
-        unbudgeted = DebugSession(products_debugger, "saffron scented candle")
-        full = unbudgeted.explain_all()
-        session = DebugSession(
+        with DebugSession(
+            products_debugger, "saffron scented candle"
+        ) as unbudgeted:
+            full = unbudgeted.explain_all()
+        with DebugSession(
             products_debugger,
             "saffron scented candle",
             budget=ProbeBudget(max_queries=2),
-        )
-        partial = session.explain_all()
+        ) as session:
+            partial = session.explain_all()
         assert set(partial) <= set(full)
         for position, mpans in partial.items():
             assert [q.describe() for q in mpans] == [

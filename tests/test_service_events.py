@@ -1,0 +1,126 @@
+"""Tests for the per-session event log feeding the service layer."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import ProbeTracer
+from repro.service.events import TERMINAL_EVENTS, SessionEventLog
+
+
+def make_log(session_id="s1"):
+    """A log fed by a real tracer, exactly as the manager wires it."""
+    log = SessionEventLog(session_id)
+    tracer = ProbeTracer(listener=log.append)
+    tracer.set_context(session_id=session_id)
+    return log, tracer
+
+
+class TestAppend:
+    def test_records_arrive_in_seq_order(self):
+        log, tracer = make_log()
+        tracer.record_event("session_submitted", query="q")
+        tracer.record_event("session_started")
+        seqs = [record["seq"] for record in log.snapshot()]
+        assert seqs == [0, 1]
+
+    def test_records_are_schema_valid_dicts(self):
+        log, tracer = make_log()
+        tracer.record_event("session_submitted", query="q")
+        record = log.snapshot()[0]
+        assert record["kind"] == "event"
+        assert record["session_id"] == "s1"
+
+    def test_terminal_flips_once(self):
+        log, tracer = make_log()
+        assert not log.terminal
+        tracer.record_event("session_completed")
+        assert log.terminal
+
+    def test_append_after_terminal_rejected(self):
+        log, tracer = make_log()
+        tracer.record_event("session_completed")
+        with pytest.raises(RuntimeError, match="terminal"):
+            tracer.record_event("session_started")
+
+    def test_every_terminal_name_recognised(self):
+        for name in TERMINAL_EVENTS:
+            log, tracer = make_log()
+            tracer.record_event(name)
+            assert log.terminal, name
+
+
+class TestEventsAfter:
+    def test_cursor_excludes_already_seen(self):
+        log, tracer = make_log()
+        tracer.record_event("session_submitted", query="q")
+        tracer.record_event("session_started")
+        records, _ = log.events_after(0)
+        assert [record["seq"] for record in records] == [1]
+
+    def test_default_cursor_returns_everything(self):
+        log, tracer = make_log()
+        tracer.record_event("session_submitted", query="q")
+        records, terminal = log.events_after()
+        assert len(records) == 1
+        assert not terminal
+
+    def test_terminal_flag_reported(self):
+        log, tracer = make_log()
+        tracer.record_event("session_completed")
+        _, terminal = log.events_after()
+        assert terminal
+
+    def test_wait_wakes_on_append(self):
+        log, tracer = make_log()
+        results = []
+
+        def poll():
+            records, _ = log.events_after(-1, wait_seconds=5.0)
+            results.append(records)
+
+        thread = threading.Thread(target=poll)
+        thread.start()
+        tracer.record_event("session_submitted", query="q")
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(results[0]) == 1
+
+    def test_wait_times_out_empty(self):
+        log, _ = make_log()
+        records, terminal = log.events_after(-1, wait_seconds=0.05)
+        assert records == []
+        assert not terminal
+
+
+class TestFollow:
+    def test_follow_ends_at_terminal(self):
+        log, tracer = make_log()
+        tracer.record_event("session_submitted", query="q")
+        tracer.record_event("session_completed")
+        names = [record["name"] for record in log.follow()]
+        assert names == ["session_submitted", "session_completed"]
+
+    def test_follow_sees_appends_while_following(self):
+        log, tracer = make_log()
+        tracer.record_event("session_submitted", query="q")
+
+        def finish():
+            tracer.record_event("session_completed")
+
+        timer = threading.Timer(0.05, finish)
+        timer.start()
+        try:
+            names = [record["name"] for record in log.follow(poll_seconds=0.01)]
+        finally:
+            timer.cancel()
+        assert names[-1] == "session_completed"
+
+    def test_jsonl_lines_roundtrip(self):
+        import json
+
+        log, tracer = make_log()
+        tracer.record_event("session_submitted", query="q")
+        tracer.record_event("session_completed")
+        parsed = [json.loads(line) for line in log.jsonl_lines()]
+        assert [record["seq"] for record in parsed] == [0, 1]

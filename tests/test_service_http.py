@@ -1,0 +1,281 @@
+"""Tests for the HTTP layer: in-process routing plus a live socket."""
+
+import json
+
+import pytest
+
+from repro.core.debugger import NonAnswerDebugger
+from repro.service import ServiceApp, ServiceServer, SessionManager
+from repro.service.smoke import (
+    _request,
+    _request_json,
+    poll_session_events,
+    stream_session_events,
+)
+
+QUERY = "saffron scented candle"
+
+
+@pytest.fixture
+def app(products_db):
+    debugger = NonAnswerDebugger(products_db, max_joins=2)
+    manager = SessionManager(debugger, workers=2)
+    yield ServiceApp(manager)
+    manager.shutdown(drain=True)
+
+
+def get_json(app, method, path, params=None, body=b""):
+    response = app.handle(method, path, params or {}, body)
+    return response.status, json.loads(response.body.decode("utf-8"))
+
+
+def submit(app, document):
+    return get_json(
+        app, "POST", "/sessions", body=json.dumps(document).encode("utf-8")
+    )
+
+
+class TestRouting:
+    def test_healthz(self, app):
+        status, payload = get_json(app, "GET", "/healthz")
+        assert (status, payload) == (200, {"status": "ok"})
+
+    def test_unknown_route_404(self, app):
+        status, payload = get_json(app, "GET", "/nope")
+        assert status == 404
+        assert "no route" in payload["error"]
+
+    def test_unknown_session_404(self, app):
+        status, payload = get_json(app, "GET", "/sessions/s99")
+        assert status == 404
+        assert "s99" in payload["error"]
+
+    def test_submit_returns_links(self, app):
+        status, payload = submit(app, {"query": QUERY})
+        assert status == 202
+        assert payload["session_id"] == "s1"
+        assert payload["events"] == "/sessions/s1/events"
+        assert payload["stream"] == "/sessions/s1/stream"
+
+    def test_submit_requires_query(self, app):
+        for document in ({}, {"query": ""}, {"query": 3}):
+            status, payload = submit(app, document)
+            assert status == 400, document
+            assert "query" in payload["error"]
+
+    def test_submit_validates_optionals(self, app):
+        assert submit(app, {"query": QUERY, "strategy": 7})[0] == 400
+        assert submit(app, {"query": QUERY, "max_queries": "x"})[0] == 400
+        assert submit(app, {"query": QUERY, "max_queries": True})[0] == 400
+
+    def test_malformed_json_400(self, app):
+        response = app.handle("POST", "/sessions", {}, b"{not json")
+        assert response.status == 400
+
+    def test_submit_after_shutdown_503(self, app):
+        app.manager.shutdown(drain=True)
+        status, payload = submit(app, {"query": QUERY})
+        assert status == 503
+
+    def test_mutate_validates_body(self, app):
+        bad = [
+            {},
+            {"relation": "Item", "inserts": "nope"},
+            {"relation": "Item", "deletes": ["x"]},
+            {"relation": "Item", "deletes": [True]},
+        ]
+        for document in bad:
+            status, _ = get_json(
+                app,
+                "POST",
+                "/mutate",
+                body=json.dumps(document).encode("utf-8"),
+            )
+            assert status == 400, document
+
+
+class TestSessionEndpoints:
+    def finish(self, app, document=None):
+        _, payload = submit(app, document or {"query": QUERY})
+        session_id = payload["session_id"]
+        handle = app.manager.get(session_id)
+        assert handle.wait(30)
+        return session_id
+
+    def test_describe_and_list(self, app):
+        session_id = self.finish(app)
+        status, payload = get_json(app, "GET", f"/sessions/{session_id}")
+        assert status == 200
+        assert payload["state"] == "completed"
+        status, listing = get_json(app, "GET", "/sessions")
+        assert [row["session_id"] for row in listing["sessions"]] == [
+            session_id
+        ]
+
+    def test_events_poll_with_cursor(self, app):
+        session_id = self.finish(app)
+        response = app.handle(
+            "GET", f"/sessions/{session_id}/events", {"after": "-1"}, b""
+        )
+        assert response.status == 200
+        assert response.headers["X-Repro-Terminal"] == "1"
+        records = [
+            json.loads(line)
+            for line in response.body.decode("utf-8").splitlines()
+        ]
+        assert records[-1]["name"] == "session_completed"
+        cursor = records[2]["seq"]
+        rest = app.handle(
+            "GET",
+            f"/sessions/{session_id}/events",
+            {"after": str(cursor)},
+            b"",
+        )
+        remaining = rest.body.decode("utf-8").splitlines()
+        assert len(remaining) == len(records) - 3
+
+    def test_stream_yields_full_log(self, app):
+        session_id = self.finish(app)
+        response = app.handle(
+            "GET", f"/sessions/{session_id}/stream", {}, b""
+        )
+        assert response.status == 200
+        assert response.stream is not None
+        records = [
+            json.loads(chunk.decode("utf-8")) for chunk in response.stream
+        ]
+        assert records[0]["name"] == "session_submitted"
+        assert records[-1]["name"] == "session_completed"
+        seqs = [record["seq"] for record in records]
+        assert seqs == list(range(len(seqs)))
+
+    def test_result_carries_paper_outputs(self, app):
+        session_id = self.finish(app)
+        status, payload = get_json(
+            app, "GET", f"/sessions/{session_id}/result"
+        )
+        assert status == 200
+        assert payload["answers"]
+        assert payload["non_answers"]
+        assert all(row["mpans"] for row in payload["non_answers"])
+        assert payload["signature"]
+
+    def test_mpans_view(self, app):
+        session_id = self.finish(app)
+        status, payload = get_json(
+            app, "GET", f"/sessions/{session_id}/mpans"
+        )
+        assert status == 200
+        assert payload["non_answers"]
+
+    def test_delete_cancels(self, app):
+        _, payload = submit(app, {"query": QUERY})
+        session_id = payload["session_id"]
+        status, described = get_json(app, "DELETE", f"/sessions/{session_id}")
+        assert status == 202
+        app.manager.get(session_id).wait(30)
+        assert app.manager.get(session_id).state in ("cancelled", "completed")
+
+    def test_aborted_query_reports_missing_keywords(self, app):
+        session_id = self.finish(app, {"query": "saffron sofa"})
+        _, payload = get_json(app, "GET", f"/sessions/{session_id}/result")
+        assert payload["aborted"] is True
+        assert payload["missing_keywords"] == ["sofa"]
+
+    def test_admin_stats(self, app):
+        self.finish(app)
+        status, payload = get_json(app, "GET", "/admin/stats")
+        assert status == 200
+        assert payload["sessions_submitted"] == 1
+        assert payload["sessions_by_state"] == {"completed": 1}
+
+
+class TestLiveServer:
+    """The acceptance path: real sockets, warm server, phase3_skipped."""
+
+    def test_warm_replay_skips_phase3_over_http(self, products_db, tmp_path):
+        debugger = NonAnswerDebugger(
+            products_db, max_joins=2, cache_dir=str(tmp_path)
+        )
+        manager = SessionManager(debugger, workers=2)
+        server = ServiceServer(ServiceApp(manager))
+        server.start()
+        try:
+            host, port = server.host, server.port
+
+            def run_client(use_stream):
+                submitted = _request_json(
+                    host, port, "POST", "/sessions", {"query": QUERY}
+                )
+                session_id = submitted["session_id"]
+                if use_stream:
+                    events = stream_session_events(host, port, session_id)
+                else:
+                    events = poll_session_events(host, port, session_id)
+                result = _request_json(
+                    host, port, "GET", f"/sessions/{session_id}/result"
+                )
+                executed = sum(
+                    1
+                    for record in events
+                    if record["kind"] == "span" and not record["cache_hit"]
+                )
+                names = {
+                    record["name"]
+                    for record in events
+                    if record["kind"] == "event"
+                }
+                return result, executed, names
+
+            cold, cold_executed, cold_names = run_client(use_stream=True)
+            warm, warm_executed, warm_names = run_client(use_stream=False)
+
+            assert cold["state"] == warm["state"] == "completed"
+            assert cold["signature"] == warm["signature"]
+            assert cold_executed > 0
+            # The second client hits the persisted status cache: Phase 3
+            # never runs, zero backend queries, observed through HTTP.
+            assert "phase3_skipped" in warm_names
+            assert "phase3_skipped" not in cold_names
+            assert warm_executed == 0
+            assert warm["queries_executed"] == 0
+        finally:
+            server.stop()
+            manager.shutdown(drain=True)
+
+    def test_http_errors_over_socket(self, products_db):
+        debugger = NonAnswerDebugger(products_db, max_joins=2)
+        manager = SessionManager(debugger, workers=2)
+        server = ServiceServer(ServiceApp(manager))
+        server.start()
+        try:
+            status, _ = _request(
+                server.host, server.port, "GET", "/sessions/s42"
+            )
+            assert status == 404
+            status, body = _request(
+                server.host, server.port, "POST", "/sessions", {"query": ""}
+            )
+            assert status == 400
+        finally:
+            server.stop()
+            manager.shutdown(drain=True)
+
+    def test_ephemeral_ports_isolate_servers(self, products_db):
+        debugger = NonAnswerDebugger(products_db, max_joins=2)
+        manager = SessionManager(debugger, workers=2, close_debugger=True)
+        first = ServiceServer(ServiceApp(manager))
+        second = ServiceServer(ServiceApp(manager))
+        first.start()
+        second.start()
+        try:
+            assert first.port != second.port
+            for server in (first, second):
+                status, _ = _request(
+                    server.host, server.port, "GET", "/healthz"
+                )
+                assert status == 200
+        finally:
+            second.stop()
+            first.stop()
+            manager.shutdown(drain=True)

@@ -10,7 +10,8 @@ QUERY = "saffron scented candle"
 
 @pytest.fixture
 def session(products_debugger):
-    return DebugSession(products_debugger, QUERY)
+    with DebugSession(products_debugger, QUERY) as session:
+        yield session
 
 
 class TestLifecycle:

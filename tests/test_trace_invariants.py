@@ -298,6 +298,131 @@ class TestPoolInvariants:
         assert names(records) == []
 
 
+def session_event(seq, name, session_id="s1", **attrs):
+    record = {
+        "kind": "event",
+        "seq": seq,
+        "name": name,
+        "session_id": session_id,
+    }
+    record.update(attrs)
+    return record
+
+
+class TestSessionInvariants:
+    def test_complete_session_clean(self):
+        records = [
+            session_event(0, "session_submitted", query="q"),
+            session_event(1, "session_started"),
+            session_event(2, "session_completed"),
+        ]
+        assert names(records) == []
+
+    def test_submitted_without_terminal_flagged(self):
+        records = [
+            session_event(0, "session_submitted", query="q"),
+            session_event(1, "session_started"),
+        ]
+        assert names(records) == ["session-terminal"]
+
+    def test_double_terminal_flagged(self):
+        records = [
+            session_event(0, "session_submitted", query="q"),
+            session_event(1, "session_completed"),
+            session_event(2, "session_cancelled"),
+        ]
+        assert names(records) == ["session-terminal"]
+
+    def test_records_after_terminal_flagged(self):
+        records = [
+            session_event(0, "session_submitted", query="q"),
+            session_event(1, "session_completed"),
+            session_event(2, "session_started"),
+        ]
+        assert names(records) == ["session-terminal"]
+
+    def test_every_terminal_name_accepted(self):
+        for terminal in (
+            "session_completed",
+            "session_failed",
+            "session_cancelled",
+        ):
+            records = [
+                session_event(0, "session_submitted", query="q"),
+                session_event(1, terminal),
+            ]
+            assert names(records) == [], terminal
+
+    def test_seq_gap_flagged(self):
+        records = [
+            session_event(0, "session_submitted", query="q"),
+            session_event(2, "session_completed"),
+        ]
+        assert names(records) == ["session-seq"]
+
+    def test_duplicate_seq_flagged(self):
+        records = [
+            session_event(0, "session_submitted", query="q"),
+            session_event(0, "session_started"),
+            session_event(1, "session_completed"),
+        ]
+        assert names(records) == ["session-seq"]
+
+    def test_submitted_stream_must_start_at_zero(self):
+        records = [
+            session_event(3, "session_submitted", query="q"),
+            session_event(4, "session_completed"),
+        ]
+        assert names(records) == ["session-seq"]
+
+    def test_sessions_checked_independently(self):
+        records = [
+            session_event(0, "session_submitted", session_id="s1", query="q"),
+            session_event(0, "session_submitted", session_id="s2", query="q"),
+            session_event(1, "session_completed", session_id="s1"),
+            session_event(1, "session_completed", session_id="s2"),
+        ]
+        assert names(records) == []
+
+    def test_unsessioned_records_exempt(self):
+        # Plain pipeline traces carry no session ids and no lifecycle.
+        records = [start(0), span(1, tier="backend"), end(2, executed=1)]
+        assert names(records) == []
+
+
+class TestServiceShutdownInvariants:
+    def shutdown_event(self, seq, active=0, served=1):
+        return {
+            "kind": "event",
+            "seq": seq,
+            "name": "service_shutdown",
+            "active_sessions": active,
+            "sessions_served": served,
+            "drained": True,
+        }
+
+    def test_drained_shutdown_clean(self):
+        records = [
+            session_event(0, "session_submitted", query="q"),
+            session_event(1, "session_completed"),
+            self.shutdown_event(0),
+        ]
+        assert names(records) == []
+
+    def test_active_sessions_at_shutdown_flagged(self):
+        assert names([self.shutdown_event(0, active=2)]) == [
+            "service-shutdown"
+        ]
+
+    def test_terminal_after_shutdown_flagged(self):
+        records = [
+            session_event(0, "session_submitted", query="q"),
+            self.shutdown_event(0),
+            session_event(1, "session_completed"),
+        ]
+        assert "service-shutdown" in names(records)
+
+
 class TestLineInterface:
     def test_lines_are_schema_validated_first(self):
         bad = json.dumps({"kind": "span", "seq": 0})  # missing fields
